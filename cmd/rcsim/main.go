@@ -1,0 +1,107 @@
+// Command rcsim runs one ad-hoc scenario on the simulated RAMCloud
+// cluster and prints a measurement summary: throughput, latency, power,
+// energy efficiency and (optionally) crash-recovery statistics.
+//
+// Examples:
+//
+//	rcsim -servers 10 -clients 30 -workload a -requests 20000
+//	rcsim -servers 20 -clients 60 -rf 3 -workload a
+//	rcsim -servers 9 -rf 2 -records 300000 -kill-after 15s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ramcloud/internal/core"
+	"ramcloud/internal/sim"
+	"ramcloud/internal/ycsb"
+)
+
+func main() {
+	var (
+		servers   = flag.Int("servers", 10, "storage servers")
+		clients   = flag.Int("clients", 10, "client nodes")
+		rf        = flag.Int("rf", 0, "replication factor (0 = off)")
+		workload  = flag.String("workload", "b", "YCSB workload: a, b or c")
+		records   = flag.Int("records", 100_000, "records preloaded (1 KB each)")
+		requests  = flag.Int("requests", 20_000, "requests per client")
+		rate      = flag.Float64("rate", 0, "per-client throttle in ops/s (0 = unthrottled)")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+		killAfter = flag.Duration("kill-after", 0, "kill one server after this virtual time")
+		runs      = flag.Int("runs", 1, "seed-sweep run count (like the paper's 5-run averages)")
+	)
+	flag.Parse()
+
+	w, err := ycsb.ByName(*workload, *records, 1024)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcsim: %v\n", err)
+		os.Exit(2)
+	}
+	scenario := core.Scenario{
+		Name:              "rcsim",
+		Servers:           *servers,
+		Clients:           *clients,
+		RF:                *rf,
+		Workload:          w,
+		RequestsPerClient: *requests,
+		Rate:              *rate,
+		Seed:              *seed,
+		KillAfter:         sim.Duration(*killAfter),
+		KillTarget:        -1,
+		IdleSeconds:       boolToInt(*killAfter > 0) * 5,
+	}
+
+	if *runs > 1 {
+		start := time.Now()
+		sweep := core.RunSeeds(scenario, *runs)
+		fmt.Printf("seed sweep over %d runs (wall clock %.1fs):\n", *runs, time.Since(start).Seconds())
+		fmt.Printf("throughput:       %.0f op/s   (stddev %.0f)\n", sweep.Throughput.Mean(), sweep.Throughput.Stddev())
+		fmt.Printf("avg power/server: %.1f W     (stddev %.2f)\n", sweep.PowerPerServer.Mean(), sweep.PowerPerServer.Stddev())
+		fmt.Printf("efficiency:       %.0f op/J   (stddev %.1f)\n", sweep.OpsPerJoule.Mean(), sweep.OpsPerJoule.Stddev())
+		if sweep.RecoverySeconds.N() > 0 {
+			fmt.Printf("recovery time:    %.2f s     (stddev %.2f)\n", sweep.RecoverySeconds.Mean(), sweep.RecoverySeconds.Stddev())
+		}
+		return
+	}
+
+	start := time.Now()
+	res := core.Run(scenario)
+
+	fmt.Printf("cluster: %d servers, %d clients, RF %d, workload %s (%d records)\n",
+		*servers, *clients, *rf, w.Name, *records)
+	fmt.Printf("simulated duration: %v   (wall clock %.1fs)\n", res.Duration, time.Since(start).Seconds())
+	if res.TotalOps > 0 {
+		fmt.Printf("throughput:         %.0f op/s (%d ops)\n", res.Throughput, res.TotalOps)
+		fmt.Printf("read latency:       %s\n", res.ReadLatency.Summary(1000, "us"))
+		if res.WriteLatency.Count() > 0 {
+			fmt.Printf("write latency:      %s\n", res.WriteLatency.Summary(1000, "us"))
+		}
+	}
+	fmt.Printf("avg power/server:   %.1f W   (CPU %.0f%%-%.0f%%)\n",
+		res.AvgPowerPerServer, res.CPUMin*100, res.CPUMax*100)
+	fmt.Printf("total energy:       %.1f KJ   efficiency %.0f op/J\n",
+		res.TotalJoules/1000, res.OpsPerJoule)
+	if res.Timeouts > 0 || res.Failures > 0 {
+		fmt.Printf("client timeouts:    %d   failures: %d\n", res.Timeouts, res.Failures)
+	}
+	if res.KilledAt > 0 {
+		if res.Recovered {
+			fmt.Printf("crash recovery:     killed at %v, recovered in %v\n", res.KilledAt, res.RecoveryTime)
+		} else {
+			fmt.Printf("crash recovery:     killed at %v, NOT recovered\n", res.KilledAt)
+		}
+	}
+	if res.Crashed {
+		fmt.Println("run aborted: deadline exceeded (excessive timeouts)")
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,55 @@
+// Quickstart: bring up a 3-server replicated cluster, write, read and
+// delete a few objects, and print the energy the cluster consumed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ramcloud"
+)
+
+func main() {
+	sim := ramcloud.NewSimulation(ramcloud.Options{
+		Servers:           3,
+		ReplicationFactor: 2,
+		Seed:              1,
+	})
+	table := sim.CreateTable("quickstart")
+
+	sim.Spawn("app", func(c *ramcloud.Client) {
+		if err := c.Write(table, []byte("greeting"), []byte("hello, ramcloud")); err != nil {
+			log.Fatalf("write: %v", err)
+		}
+		v, err := c.Read(table, []byte("greeting"))
+		if err != nil {
+			log.Fatalf("read: %v", err)
+		}
+		fmt.Printf("read back: %q (latency stats below)\n", v)
+
+		for i := 0; i < 1000; i++ {
+			key := []byte(fmt.Sprintf("key-%04d", i))
+			if err := c.WriteLen(table, key, 1024); err != nil {
+				log.Fatalf("write %d: %v", i, err)
+			}
+		}
+		n, err := c.ReadLen(table, []byte("key-0500"))
+		if err != nil || n != 1024 {
+			log.Fatalf("read len = %d, err = %v", n, err)
+		}
+		if err := c.Delete(table, []byte("key-0500")); err != nil {
+			log.Fatalf("delete: %v", err)
+		}
+		if _, err := c.Read(table, []byte("key-0500")); err != ramcloud.ErrNotFound {
+			log.Fatalf("expected ErrNotFound, got %v", err)
+		}
+		fmt.Printf("write latency: %s\n", c.Stats().WriteLatency.Summary(1000, "us"))
+		fmt.Printf("read latency:  %s\n", c.Stats().ReadLatency.Summary(1000, "us"))
+	})
+	sim.Run()
+
+	rep := sim.EnergyReport()
+	fmt.Printf("virtual duration: %v\n", sim.Now())
+	fmt.Printf("cluster energy: %.1f J (%.1f W/server avg), %.0f ops/J\n",
+		rep.TotalJoules, rep.MeanNodeWatts(), rep.EnergyEfficiency())
+}

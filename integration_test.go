@@ -1,0 +1,161 @@
+package ramcloud
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sim := NewSimulation(Options{Servers: 3, Seed: 7})
+	table := sim.CreateTable("usertable")
+	var got []byte
+	var readErr error
+	sim.Spawn("app", func(c *Client) {
+		if err := c.Write(table, []byte("hello"), []byte("world")); err != nil {
+			readErr = err
+			return
+		}
+		got, readErr = c.Read(table, []byte("hello"))
+	})
+	sim.Run()
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if string(got) != "world" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPublicAPIVirtualPayloads(t *testing.T) {
+	sim := NewSimulation(Options{Servers: 2, Seed: 3})
+	table := sim.CreateTable("t")
+	sim.BulkLoad(table, 500, 4096)
+	var n int
+	var err error
+	sim.Spawn("app", func(c *Client) {
+		n, err = c.ReadLen(table, []byte("user0000000042"))
+	})
+	sim.Run()
+	if err != nil || n != 4096 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestPublicAPINotFound(t *testing.T) {
+	sim := NewSimulation(Options{Servers: 2, Seed: 3})
+	table := sim.CreateTable("t")
+	var err error
+	sim.Spawn("app", func(c *Client) {
+		_, err = c.Read(table, []byte("missing"))
+	})
+	sim.Run()
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPublicAPIDeleteRoundTrip(t *testing.T) {
+	sim := NewSimulation(Options{Servers: 3, ReplicationFactor: 2, Seed: 5})
+	table := sim.CreateTable("t")
+	var errs []error
+	sim.Spawn("app", func(c *Client) {
+		errs = append(errs, c.Write(table, []byte("k"), []byte("v")))
+		errs = append(errs, c.Delete(table, []byte("k")))
+		if _, err := c.Read(table, []byte("k")); !errors.Is(err, ErrNotFound) {
+			errs = append(errs, fmt.Errorf("read after delete: %v", err))
+		}
+		if err := c.Delete(table, []byte("k")); !errors.Is(err, ErrNotFound) {
+			errs = append(errs, fmt.Errorf("double delete: %v", err))
+		}
+	})
+	sim.Run()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestPublicAPICrashRecovery(t *testing.T) {
+	sim := NewSimulation(Options{Servers: 4, ReplicationFactor: 2, Seed: 11})
+	table := sim.CreateTable("t")
+	sim.BulkLoad(table, 2000, 1024)
+	lost := 0
+	sim.Spawn("verifier", func(c *Client) {
+		c.Sleep(time.Second)
+		sim.KillServer(1)
+		// Wait for the coordinator to finish recovery.
+		for sim.RecoveryCount() == 0 {
+			c.Sleep(500 * time.Millisecond)
+			if c.Now() > 5*time.Minute {
+				return
+			}
+		}
+		for i := 0; i < 2000; i++ {
+			key := []byte(fmt.Sprintf("user%010d", i))
+			if n, err := c.ReadLen(table, key); err != nil || n != 1024 {
+				lost++
+			}
+		}
+	})
+	sim.Run()
+	if sim.RecoveryCount() == 0 {
+		t.Fatal("recovery never completed")
+	}
+	if lost != 0 {
+		t.Fatalf("%d records unreadable after recovery", lost)
+	}
+}
+
+func TestPublicAPIWorkloadAndEnergy(t *testing.T) {
+	sim := NewSimulation(Options{Servers: 2, Seed: 9})
+	table := sim.CreateTable("usertable")
+	sim.BulkLoad(table, 1000, 1024)
+	for i := 0; i < 4; i++ {
+		i := i
+		sim.Spawn(fmt.Sprintf("ycsb-%d", i), func(c *Client) {
+			if err := c.RunWorkload(table, "b", 1000, 3000, 0, int64(i)); err != nil {
+				t.Errorf("workload: %v", err)
+			}
+		})
+	}
+	sim.Run()
+	rep := sim.EnergyReport()
+	if rep.Ops != 4*3000 {
+		t.Fatalf("ops = %d", rep.Ops)
+	}
+	if rep.TotalJoules <= 0 || rep.EnergyEfficiency() <= 0 {
+		t.Fatalf("energy report: %+v", rep)
+	}
+	if w := rep.MeanNodeWatts(); w < 61 || w > 131 {
+		t.Fatalf("implausible node power %v W", w)
+	}
+}
+
+func TestPublicAPIDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		sim := NewSimulation(Options{Servers: 2, Seed: 21})
+		table := sim.CreateTable("t")
+		sim.BulkLoad(table, 500, 1024)
+		sim.Spawn("app", func(c *Client) {
+			_ = c.RunWorkload(table, "a", 500, 2000, 0, 1)
+		})
+		sim.Run()
+		return sim.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different virtual durations: %v vs %v", a, b)
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("nope", 1, 1); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+	ids := ExperimentIDs()
+	if len(ids) < 20 {
+		t.Fatalf("experiments = %d, want >= 20", len(ids))
+	}
+}

@@ -1,0 +1,295 @@
+// Package client implements the storage client: tablet-map caching,
+// request routing, timeouts, retries and backoff. Its per-operation
+// overhead constants model the YCSB Java client's own CPU cost, which
+// dominates the closed-loop rate per client observed in the paper
+// (~23-37 Kop/s for reads).
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"ramcloud/internal/hashtable"
+	"ramcloud/internal/metrics"
+	"ramcloud/internal/rpc"
+	"ramcloud/internal/sim"
+	"ramcloud/internal/simnet"
+	"ramcloud/internal/wire"
+)
+
+// Client errors.
+var (
+	ErrNotFound    = errors.New("client: key not found")
+	ErrUnavailable = errors.New("client: operation failed after retries")
+	ErrNoTable     = errors.New("client: unknown table")
+)
+
+// Config tunes the client.
+type Config struct {
+	RPCTimeout        sim.Duration // per-attempt deadline
+	RetryBackoff      sim.Duration // backoff after timeout/error
+	RecoveringBackoff sim.Duration // poll interval while data recovers
+	MaxRetries        int          // attempts before ErrUnavailable
+
+	// ReadOverhead / UpdateOverhead are the client-side per-op costs
+	// (request generation, serialization, bookkeeping) of the YCSB client.
+	ReadOverhead   sim.Duration
+	UpdateOverhead sim.Duration
+}
+
+// DefaultConfig mirrors the calibrated YCSB client behaviour.
+func DefaultConfig() Config {
+	return Config{
+		RPCTimeout:        1 * sim.Second,
+		RetryBackoff:      10 * sim.Millisecond,
+		RecoveringBackoff: 50 * sim.Millisecond,
+		MaxRetries:        400,
+		ReadOverhead:      33 * sim.Microsecond,
+		UpdateOverhead:    130 * sim.Microsecond,
+	}
+}
+
+// Stats collects client-side measurements.
+type Stats struct {
+	ReadLatency  *metrics.Histogram // ns
+	WriteLatency *metrics.Histogram // ns
+	OpsBySecond  metrics.Series     // completed ops per second
+	LatSumSecond metrics.Series     // summed latency (ns) per second
+	LatCntSecond metrics.Series     // latency samples per second
+	Timeouts     metrics.Counter
+	Retries      metrics.Counter
+	Failures     metrics.Counter
+	Ops          metrics.Counter
+}
+
+// NewStats returns empty stats.
+func NewStats() *Stats {
+	return &Stats{ReadLatency: metrics.NewHistogram(), WriteLatency: metrics.NewHistogram()}
+}
+
+// Client is one application client bound to a fabric node.
+type Client struct {
+	eng   *sim.Engine
+	ep    *rpc.Endpoint
+	coord simnet.NodeID
+	cfg   Config
+
+	tablets []wire.Tablet
+	stats   *Stats
+}
+
+// New creates a client attached to the fabric at addr.
+func New(e *sim.Engine, net *simnet.Network, addr simnet.NodeID, coord simnet.NodeID, cfg Config) *Client {
+	return &Client{
+		eng:   e,
+		ep:    rpc.NewEndpoint(e, net, addr),
+		coord: coord,
+		cfg:   cfg,
+		stats: NewStats(),
+	}
+}
+
+// Stats returns the client's measurement sink.
+func (c *Client) Stats() *Stats { return c.stats }
+
+// Addr returns the client's fabric address.
+func (c *Client) Addr() simnet.NodeID { return c.ep.Node() }
+
+// CreateTable creates (or opens) a table spanning the given number of
+// servers.
+func (c *Client) CreateTable(p *sim.Proc, name string, serverSpan int) (uint64, error) {
+	resp, ok := c.ep.CallTimeout(p, c.coord, &wire.CreateTableReq{Name: name, ServerSpan: uint32(serverSpan)}, c.cfg.RPCTimeout)
+	if !ok {
+		return 0, ErrUnavailable
+	}
+	m := resp.(*wire.CreateTableResp)
+	if m.Status != wire.StatusOK {
+		return 0, fmt.Errorf("client: create table: %v", m.Status)
+	}
+	c.refreshTablets(p)
+	return m.Table, nil
+}
+
+// DropTable removes a table.
+func (c *Client) DropTable(p *sim.Proc, name string) error {
+	resp, ok := c.ep.CallTimeout(p, c.coord, &wire.DropTableReq{Name: name}, c.cfg.RPCTimeout)
+	if !ok {
+		return ErrUnavailable
+	}
+	if st := resp.(*wire.DropTableResp).Status; st != wire.StatusOK {
+		return fmt.Errorf("client: drop table: %v", st)
+	}
+	return nil
+}
+
+func (c *Client) refreshTablets(p *sim.Proc) {
+	resp, ok := c.ep.CallTimeout(p, c.coord, &wire.GetTabletMapReq{}, c.cfg.RPCTimeout)
+	if !ok {
+		return
+	}
+	c.tablets = resp.(*wire.GetTabletMapResp).Tablets
+}
+
+// locate returns the master for (table, keyHash).
+func (c *Client) locate(table, keyHash uint64) (master simnet.NodeID, recovering, found bool) {
+	for i := range c.tablets {
+		t := &c.tablets[i]
+		if t.Table == table && keyHash >= t.StartHash && keyHash <= t.EndHash {
+			return simnet.NodeID(t.Master), t.Recovering, true
+		}
+	}
+	return 0, false, false
+}
+
+// record registers a completed op's latency.
+func (c *Client) record(start sim.Time, hist *metrics.Histogram) {
+	now := c.eng.Now()
+	lat := int64(now.Sub(start))
+	hist.Record(lat)
+	sec := int(int64(now) / int64(sim.Second))
+	c.stats.OpsBySecond.Add(sec, 1)
+	c.stats.LatSumSecond.Add(sec, float64(lat))
+	c.stats.LatCntSecond.Add(sec, 1)
+	c.stats.Ops.Inc()
+}
+
+// Read fetches a value's declared length (and bytes when real payloads are
+// in use). It retries through recoveries and server changes; the recorded
+// latency covers the whole operation, retries included.
+func (c *Client) Read(p *sim.Proc, table uint64, key []byte) (uint32, []byte, error) {
+	if c.cfg.ReadOverhead > 0 {
+		p.Sleep(c.cfg.ReadOverhead)
+	}
+	start := p.Now()
+	keyHash := hashtable.HashKey(table, key)
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		master, recovering, found := c.locate(table, keyHash)
+		if !found {
+			c.refreshTablets(p)
+			if _, _, again := c.locate(table, keyHash); !again {
+				return 0, nil, ErrNoTable
+			}
+			continue
+		}
+		if recovering {
+			p.Sleep(c.cfg.RecoveringBackoff)
+			c.refreshTablets(p)
+			continue
+		}
+		resp, ok := c.ep.CallTimeout(p, master, &wire.ReadReq{Table: table, Key: key}, c.cfg.RPCTimeout)
+		if !ok {
+			c.stats.Timeouts.Inc()
+			c.refreshTablets(p)
+			continue
+		}
+		m := resp.(*wire.ReadResp)
+		switch m.Status {
+		case wire.StatusOK:
+			c.record(start, c.stats.ReadLatency)
+			return m.ValueLen, m.Value, nil
+		case wire.StatusUnknownKey:
+			c.record(start, c.stats.ReadLatency)
+			return 0, nil, ErrNotFound
+		case wire.StatusWrongServer:
+			c.stats.Retries.Inc()
+			c.refreshTablets(p)
+		default:
+			c.stats.Retries.Inc()
+			p.Sleep(c.cfg.RetryBackoff)
+		}
+	}
+	c.stats.Failures.Inc()
+	return 0, nil, ErrUnavailable
+}
+
+// Write stores a value (virtual when value is nil: only valueLen crosses
+// the simulated wire).
+func (c *Client) Write(p *sim.Proc, table uint64, key []byte, valueLen uint32, value []byte) error {
+	if c.cfg.UpdateOverhead > 0 {
+		p.Sleep(c.cfg.UpdateOverhead)
+	}
+	start := p.Now()
+	keyHash := hashtable.HashKey(table, key)
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		master, recovering, found := c.locate(table, keyHash)
+		if !found {
+			c.refreshTablets(p)
+			if _, _, again := c.locate(table, keyHash); !again {
+				return ErrNoTable
+			}
+			continue
+		}
+		if recovering {
+			p.Sleep(c.cfg.RecoveringBackoff)
+			c.refreshTablets(p)
+			continue
+		}
+		resp, ok := c.ep.CallTimeout(p, master, &wire.WriteReq{Table: table, Key: key, ValueLen: valueLen, Value: value}, c.cfg.RPCTimeout)
+		if !ok {
+			c.stats.Timeouts.Inc()
+			c.refreshTablets(p)
+			continue
+		}
+		m := resp.(*wire.WriteResp)
+		switch m.Status {
+		case wire.StatusOK:
+			c.record(start, c.stats.WriteLatency)
+			return nil
+		case wire.StatusWrongServer:
+			c.stats.Retries.Inc()
+			c.refreshTablets(p)
+		default:
+			c.stats.Retries.Inc()
+			p.Sleep(c.cfg.RetryBackoff)
+		}
+	}
+	c.stats.Failures.Inc()
+	return ErrUnavailable
+}
+
+// Delete removes a key.
+func (c *Client) Delete(p *sim.Proc, table uint64, key []byte) error {
+	if c.cfg.UpdateOverhead > 0 {
+		p.Sleep(c.cfg.UpdateOverhead)
+	}
+	start := p.Now()
+	keyHash := hashtable.HashKey(table, key)
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		master, recovering, found := c.locate(table, keyHash)
+		if !found {
+			c.refreshTablets(p)
+			if _, _, again := c.locate(table, keyHash); !again {
+				return ErrNoTable
+			}
+			continue
+		}
+		if recovering {
+			p.Sleep(c.cfg.RecoveringBackoff)
+			c.refreshTablets(p)
+			continue
+		}
+		resp, ok := c.ep.CallTimeout(p, master, &wire.DeleteReq{Table: table, Key: key}, c.cfg.RPCTimeout)
+		if !ok {
+			c.stats.Timeouts.Inc()
+			c.refreshTablets(p)
+			continue
+		}
+		m := resp.(*wire.DeleteResp)
+		switch m.Status {
+		case wire.StatusOK:
+			c.record(start, c.stats.WriteLatency)
+			return nil
+		case wire.StatusUnknownKey:
+			c.record(start, c.stats.WriteLatency)
+			return ErrNotFound
+		case wire.StatusWrongServer:
+			c.stats.Retries.Inc()
+			c.refreshTablets(p)
+		default:
+			c.stats.Retries.Inc()
+			p.Sleep(c.cfg.RetryBackoff)
+		}
+	}
+	c.stats.Failures.Inc()
+	return ErrUnavailable
+}

@@ -1,0 +1,214 @@
+package client
+
+import (
+	"errors"
+	"testing"
+
+	"ramcloud/internal/rpc"
+	"ramcloud/internal/sim"
+	"ramcloud/internal/simnet"
+	"ramcloud/internal/wire"
+)
+
+// fakeCluster is a scripted coordinator + master endpoint pair that lets
+// the client's routing, retry and timeout logic be tested in isolation.
+type fakeCluster struct {
+	eng    *sim.Engine
+	net    *simnet.Network
+	coord  *rpc.Endpoint
+	master *rpc.Endpoint
+
+	tablets     []wire.Tablet
+	mapRequests int
+
+	readStatus  wire.Status // status the master returns for reads
+	masterMute  bool        // drop all master replies (simulates death)
+	readsServed int
+}
+
+func newFake(t *testing.T) *fakeCluster {
+	t.Helper()
+	eng := sim.New(1)
+	net := simnet.New(eng, simnet.DefaultConfig())
+	f := &fakeCluster{
+		eng:        eng,
+		net:        net,
+		coord:      rpc.NewEndpoint(eng, net, simnet.NodeID(-1)),
+		master:     rpc.NewEndpoint(eng, net, simnet.NodeID(1)),
+		readStatus: wire.StatusOK,
+	}
+	f.tablets = []wire.Tablet{{Table: 1, StartHash: 0, EndHash: ^uint64(0), Master: 1}}
+	eng.Go("fake-coord", func(p *sim.Proc) {
+		for {
+			req := f.coord.Inbound.Pop(p)
+			switch req.Msg.(type) {
+			case *wire.GetTabletMapReq:
+				f.mapRequests++
+				f.coord.Reply(req, &wire.GetTabletMapResp{Status: wire.StatusOK, Tablets: f.tablets})
+			case *wire.CreateTableReq:
+				f.coord.Reply(req, &wire.CreateTableResp{Status: wire.StatusOK, Table: 1})
+			}
+		}
+	})
+	eng.Go("fake-master", func(p *sim.Proc) {
+		for {
+			req := f.master.Inbound.Pop(p)
+			if f.masterMute {
+				continue
+			}
+			switch req.Msg.(type) {
+			case *wire.ReadReq:
+				f.readsServed++
+				f.master.Reply(req, &wire.ReadResp{Status: f.readStatus, ValueLen: 9, Version: 1})
+			case *wire.WriteReq:
+				f.master.Reply(req, &wire.WriteResp{Status: wire.StatusOK, Version: 2})
+			case *wire.DeleteReq:
+				f.master.Reply(req, &wire.DeleteResp{Status: wire.StatusOK, Version: 3})
+			}
+		}
+	})
+	return f
+}
+
+func testCfg() Config {
+	cfg := DefaultConfig()
+	cfg.RPCTimeout = 20 * sim.Millisecond
+	cfg.MaxRetries = 3
+	cfg.ReadOverhead = 0
+	cfg.UpdateOverhead = 0
+	return cfg
+}
+
+func (f *fakeCluster) newClient() *Client {
+	return New(f.eng, f.net, simnet.NodeID(100), f.coord.Node(), testCfg())
+}
+
+func TestClientBasicOps(t *testing.T) {
+	f := newFake(t)
+	c := f.newClient()
+	var errs []error
+	f.eng.Go("app", func(p *sim.Proc) {
+		id, err := c.CreateTable(p, "t", 1)
+		errs = append(errs, err)
+		n, _, err := c.Read(p, id, []byte("k"))
+		if n != 9 {
+			errs = append(errs, errors.New("value len mismatch"))
+		}
+		errs = append(errs, err)
+		errs = append(errs, c.Write(p, id, []byte("k"), 5, nil))
+		errs = append(errs, c.Delete(p, id, []byte("k")))
+		f.eng.Stop()
+	})
+	f.eng.Run()
+	f.eng.Shutdown()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	if c.Stats().Ops.Value() != 3 {
+		t.Fatalf("ops = %d", c.Stats().Ops.Value())
+	}
+}
+
+func TestClientNotFound(t *testing.T) {
+	f := newFake(t)
+	f.readStatus = wire.StatusUnknownKey
+	c := f.newClient()
+	var err error
+	f.eng.Go("app", func(p *sim.Proc) {
+		_, _, err = c.Read(p, 1, []byte("missing"))
+		f.eng.Stop()
+	})
+	f.eng.Run()
+	f.eng.Shutdown()
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientTimesOutAndGivesUp(t *testing.T) {
+	f := newFake(t)
+	f.masterMute = true
+	c := f.newClient()
+	var err error
+	f.eng.Go("app", func(p *sim.Proc) {
+		_, _, err = c.Read(p, 1, []byte("k"))
+		f.eng.Stop()
+	})
+	f.eng.Run()
+	f.eng.Shutdown()
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Stats().Timeouts.Value() == 0 || c.Stats().Failures.Value() != 1 {
+		t.Fatalf("timeouts=%d failures=%d", c.Stats().Timeouts.Value(), c.Stats().Failures.Value())
+	}
+}
+
+func TestClientBlocksWhileRecoveringThenSucceeds(t *testing.T) {
+	f := newFake(t)
+	f.tablets[0].Recovering = true
+	cfg := testCfg()
+	cfg.MaxRetries = 20 // recovery polling consumes one attempt per backoff
+	c := New(f.eng, f.net, simnet.NodeID(100), f.coord.Node(), cfg)
+	var err error
+	var elapsed sim.Duration
+	// Tablet leaves recovery after 300ms.
+	f.eng.Schedule(300*sim.Millisecond, func() { f.tablets[0].Recovering = false })
+	f.eng.Go("app", func(p *sim.Proc) {
+		start := p.Now()
+		_, _, err = c.Read(p, 1, []byte("k"))
+		elapsed = p.Now().Sub(start)
+		f.eng.Stop()
+	})
+	f.eng.Run()
+	f.eng.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < 300*sim.Millisecond {
+		t.Fatalf("returned in %v; should have waited out the recovery", elapsed)
+	}
+	if f.mapRequests < 2 {
+		t.Fatalf("client refreshed the map %d times; expected polling", f.mapRequests)
+	}
+}
+
+func TestClientUnknownTable(t *testing.T) {
+	f := newFake(t)
+	c := f.newClient()
+	var err error
+	f.eng.Go("app", func(p *sim.Proc) {
+		_, _, err = c.Read(p, 99, []byte("k"))
+		f.eng.Stop()
+	})
+	f.eng.Run()
+	f.eng.Shutdown()
+	if !errors.Is(err, ErrNoTable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientOverheadPacing(t *testing.T) {
+	f := newFake(t)
+	cfg := testCfg()
+	cfg.ReadOverhead = 100 * sim.Microsecond
+	c := New(f.eng, f.net, simnet.NodeID(101), f.coord.Node(), cfg)
+	var elapsed sim.Duration
+	f.eng.Go("app", func(p *sim.Proc) {
+		start := p.Now()
+		for i := 0; i < 10; i++ {
+			if _, _, err := c.Read(p, 1, []byte("k")); err != nil {
+				t.Errorf("read: %v", err)
+			}
+		}
+		elapsed = p.Now().Sub(start)
+		f.eng.Stop()
+	})
+	f.eng.Run()
+	f.eng.Shutdown()
+	if elapsed < sim.Millisecond {
+		t.Fatalf("10 reads with 100us overhead took %v; overhead not applied", elapsed)
+	}
+}

@@ -1,0 +1,255 @@
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ramcloud/internal/client"
+	"ramcloud/internal/machine"
+	"ramcloud/internal/server"
+	"ramcloud/internal/sim"
+	"ramcloud/internal/simdisk"
+	"ramcloud/internal/simnet"
+	"ramcloud/internal/wire"
+)
+
+type rig struct {
+	eng     *sim.Engine
+	net     *simnet.Network
+	coord   *Coordinator
+	servers []*server.Server
+}
+
+func newRig(t *testing.T, n, rf int) *rig {
+	t.Helper()
+	eng := sim.New(1)
+	net := simnet.New(eng, simnet.DefaultConfig())
+	coord := New(eng, net, simnet.NodeID(-1), DefaultConfig())
+	cfg := server.DefaultConfig()
+	cfg.ReplicationFactor = rf
+	cfg.Log.SegmentBytes = 32 << 10
+	cfg.Log.TotalBytes = 32 << 20
+	cfg.PartitionBytes = 1 << 20
+	r := &rig{eng: eng, net: net, coord: coord}
+	var addrs []simnet.NodeID
+	for i := 0; i < n; i++ {
+		node := machine.NewNode(eng, i+1, machine.Grid5000Nancy())
+		disk := simdisk.New(eng, simdisk.DefaultConfig())
+		s := server.New(eng, node, net, disk, coord.Addr(), cfg)
+		coord.AddServer(s)
+		r.servers = append(r.servers, s)
+		addrs = append(addrs, s.Addr())
+	}
+	for _, s := range r.servers {
+		s.SetPeers(addrs)
+		s.SetRegistry(coord.Registry())
+	}
+	coord.Start()
+	for _, s := range r.servers {
+		s.Start()
+	}
+	return r
+}
+
+func (r *rig) newClient() *client.Client {
+	return client.New(r.eng, r.net, simnet.NodeID(1000+len(r.servers)), r.coord.Addr(), client.DefaultConfig())
+}
+
+func TestCreateTableSpansServers(t *testing.T) {
+	r := newRig(t, 4, 0)
+	id := r.coord.CreateTableDirect("t", 4)
+	tablets := r.coord.TabletMapDirect()
+	if len(tablets) != 4 {
+		t.Fatalf("tablets = %d, want 4", len(tablets))
+	}
+	owners := map[int32]bool{}
+	var covered uint64
+	for _, tb := range tablets {
+		if tb.Table != id {
+			t.Fatalf("tablet for wrong table: %+v", tb)
+		}
+		owners[tb.Master] = true
+		covered += tb.EndHash - tb.StartHash
+	}
+	if len(owners) != 4 {
+		t.Fatalf("owners = %d, want 4 (round-robin)", len(owners))
+	}
+	// Re-creating returns the same table.
+	if again := r.coord.CreateTableDirect("t", 4); again != id {
+		t.Fatalf("recreate returned %d, want %d", again, id)
+	}
+	r.eng.Shutdown()
+}
+
+func TestClientTableRPCs(t *testing.T) {
+	r := newRig(t, 2, 0)
+	c := r.newClient()
+	var tableID uint64
+	var errs []error
+	r.eng.Go("app", func(p *sim.Proc) {
+		var err error
+		tableID, err = c.CreateTable(p, "users", 2)
+		errs = append(errs, err)
+		errs = append(errs, c.Write(p, tableID, []byte("k"), 10, nil))
+		_, _, err = c.Read(p, tableID, []byte("k"))
+		errs = append(errs, err)
+		errs = append(errs, c.DropTable(p, "users"))
+		_, _, err = c.Read(p, tableID, []byte("k"))
+		if !errors.Is(err, client.ErrNoTable) && !errors.Is(err, client.ErrUnavailable) {
+			errs = append(errs, fmt.Errorf("read after drop: %v", err))
+		}
+		r.eng.Stop()
+	})
+	r.eng.Run()
+	r.eng.Shutdown()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestFailureDetectionAndRecoveryRecord(t *testing.T) {
+	r := newRig(t, 4, 2)
+	r.coord.CreateTableDirect("t", 4)
+	// Seed data so the dead server has something to recover.
+	for i := 0; i < 200; i++ {
+		key := []byte(fmt.Sprintf("user%010d", i))
+		for _, s := range r.servers {
+			if err := s.FastLoad(1, key, 512); err == nil {
+				break
+			}
+		}
+	}
+	var died int32 = -1
+	r.coord.SetOnDeath(func(id int32) { died = id })
+	r.eng.Schedule(2*sim.Second, func() { r.servers[1].Kill() })
+	r.eng.Go("waiter", func(p *sim.Proc) {
+		for len(r.coord.Records()) == 0 {
+			p.Sleep(250 * sim.Millisecond)
+			if p.Now() > sim.Time(sim.Minute) {
+				break
+			}
+		}
+		r.eng.Stop()
+	})
+	r.eng.Run()
+	r.eng.Shutdown()
+	if died != r.servers[1].ID() {
+		t.Fatalf("death hook got %d, want %d", died, r.servers[1].ID())
+	}
+	recs := r.coord.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Crashed != r.servers[1].ID() || recs[0].DoneAt <= recs[0].DetectedAt {
+		t.Fatalf("bad record %+v", recs[0])
+	}
+	// Dead server's tablets must have new owners, none recovering.
+	for _, tb := range r.coord.TabletMapDirect() {
+		if tb.Recovering {
+			t.Fatalf("tablet still recovering: %+v", tb)
+		}
+		if tb.Master == r.servers[1].ID() {
+			t.Fatalf("tablet still owned by dead server: %+v", tb)
+		}
+	}
+	if got := len(r.coord.AliveServers()); got != 3 {
+		t.Fatalf("alive = %d, want 3", got)
+	}
+}
+
+func TestClientRetriesThroughRecovery(t *testing.T) {
+	r := newRig(t, 3, 2)
+	r.coord.CreateTableDirect("t", 3)
+	c := r.newClient()
+	var finalErr error
+	r.eng.Go("app", func(p *sim.Proc) {
+		// Write a key, find its owner, kill it, then read the key again:
+		// the client must block through recovery and then succeed.
+		key := []byte("persistent-key")
+		if err := c.Write(p, 1, key, 64, nil); err != nil {
+			finalErr = err
+			r.eng.Stop()
+			return
+		}
+		// The owner is the server whose log received the append.
+		var owner *server.Server
+		for _, s := range r.servers {
+			if s.Log().Appends() > 0 {
+				owner = s
+				break
+			}
+		}
+		owner.Kill()
+		_, _, finalErr = c.Read(p, 1, key)
+		r.eng.Stop()
+	})
+	r.eng.Run()
+	r.eng.Shutdown()
+	if finalErr != nil {
+		t.Fatalf("read through recovery: %v", finalErr)
+	}
+	if c.Stats().Timeouts.Value() == 0 && c.Stats().Retries.Value() == 0 {
+		t.Fatal("client should have retried through the crash")
+	}
+}
+
+func TestSplitRangesUsedForWill(t *testing.T) {
+	parts := server.SplitRanges([]wire.Tablet{{Table: 1, StartHash: 0, EndHash: ^uint64(0)}}, 8)
+	if len(parts) != 8 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	if parts[7].LastHash != ^uint64(0) {
+		t.Fatal("last partition must end at max hash")
+	}
+}
+
+func TestFillWillGaps(t *testing.T) {
+	owned := []wire.Tablet{{Table: 1, StartHash: 0, EndHash: 999}}
+	// Stale will covers only [100..399] and [600..899].
+	will := []wire.WillPartition{{FirstHash: 100, LastHash: 399}, {FirstHash: 600, LastHash: 899}}
+	got := fillWillGaps(owned, will)
+	// Expect the original two plus gaps [0..99], [400..599], [900..999].
+	if len(got) != 5 {
+		t.Fatalf("partitions = %d (%+v), want 5", len(got), got)
+	}
+	// Verify full coverage with no overlap gaps.
+	covered := make([]bool, 1000)
+	for _, w := range got {
+		for h := w.FirstHash; h <= w.LastHash && h < 1000; h++ {
+			covered[h] = true
+		}
+	}
+	for h, ok := range covered {
+		if !ok {
+			t.Fatalf("hash %d not covered", h)
+		}
+	}
+}
+
+func TestFillWillGapsFullCoverageUnchanged(t *testing.T) {
+	owned := []wire.Tablet{{Table: 1, StartHash: 0, EndHash: ^uint64(0)}}
+	will := server.SplitRanges(owned, 8)
+	got := fillWillGaps(owned, will)
+	if len(got) != len(will) {
+		t.Fatalf("complete will gained gap partitions: %d -> %d", len(will), len(got))
+	}
+}
+
+func TestFillWillGapsEmptyWill(t *testing.T) {
+	owned := []wire.Tablet{{Table: 1, StartHash: 0, EndHash: 10}}
+	if got := fillWillGaps(owned, nil); got != nil {
+		t.Fatalf("empty will should stay empty (fallback path), got %+v", got)
+	}
+}
+
+func TestFillWillGapsMaxHashBoundary(t *testing.T) {
+	owned := []wire.Tablet{{Table: 1, StartHash: ^uint64(0) - 10, EndHash: ^uint64(0)}}
+	will := []wire.WillPartition{{FirstHash: 0, LastHash: ^uint64(0)}}
+	got := fillWillGaps(owned, will)
+	if len(got) != 1 {
+		t.Fatalf("full-range will must not grow: %+v", got)
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+
+	"ramcloud/internal/client"
+	"ramcloud/internal/sim"
+	"ramcloud/internal/ycsb"
+)
+
+// smallProfile shrinks segments and the failure detector for fast tests.
+func smallProfile() Profile {
+	p := DefaultProfile()
+	p.Server.Log.SegmentBytes = 64 << 10
+	p.Server.Log.TotalBytes = 64 << 20
+	p.Server.PartitionBytes = 1 << 20
+	return p
+}
+
+func TestClusterReadWriteDelete(t *testing.T) {
+	eng := sim.New(1)
+	cl := NewCluster(eng, smallProfile(), 3, 0)
+	cl.Start()
+	table := cl.CreateTable("t")
+	c := cl.NewClient()
+	var failures []string
+	eng.Go("app", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			if err := c.Write(p, table, ycsb.Key(i), 1024, nil); err != nil {
+				failures = append(failures, "write: "+err.Error())
+			}
+		}
+		for i := 0; i < 50; i++ {
+			n, _, err := c.Read(p, table, ycsb.Key(i))
+			if err != nil || n != 1024 {
+				failures = append(failures, "read mismatch")
+			}
+		}
+		if _, _, err := c.Read(p, table, []byte("missing")); err != client.ErrNotFound {
+			failures = append(failures, "expected ErrNotFound")
+		}
+		if err := c.Delete(p, table, ycsb.Key(3)); err != nil {
+			failures = append(failures, "delete: "+err.Error())
+		}
+		if _, _, err := c.Read(p, table, ycsb.Key(3)); err != client.ErrNotFound {
+			failures = append(failures, "read after delete should fail")
+		}
+		cl.StopMetering()
+		eng.Stop()
+	})
+	eng.Run()
+	eng.Shutdown()
+	for _, f := range failures {
+		t.Error(f)
+	}
+}
+
+func TestClusterReplicationCreatesReplicas(t *testing.T) {
+	eng := sim.New(2)
+	cl := NewCluster(eng, smallProfile(), 4, 3)
+	cl.Start()
+	table := cl.CreateTable("t")
+	c := cl.NewClient()
+	eng.Go("app", func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			if err := c.Write(p, table, ycsb.Key(i), 1024, nil); err != nil {
+				t.Errorf("write %d: %v", i, err)
+			}
+		}
+		cl.StopMetering()
+		eng.Stop()
+	})
+	eng.Run()
+	eng.Shutdown()
+	// Every master's open/sealed segments must have replicas on peers.
+	totalReplicaObjects := int64(0)
+	for _, s := range cl.Servers {
+		totalReplicaObjects += s.Stats().ReplicaAppends.Value()
+	}
+	if totalReplicaObjects != 200*3 {
+		t.Fatalf("replica appends = %d, want %d", totalReplicaObjects, 200*3)
+	}
+}
+
+func TestBulkLoadMatchesClientView(t *testing.T) {
+	eng := sim.New(3)
+	cl := NewCluster(eng, smallProfile(), 3, 2)
+	cl.Start()
+	table := cl.CreateTable("t")
+	cl.BulkLoad(table, 300, 512)
+	c := cl.NewClient()
+	bad := 0
+	eng.Go("app", func(p *sim.Proc) {
+		for i := 0; i < 300; i++ {
+			n, _, err := c.Read(p, table, ycsb.Key(i))
+			if err != nil || n != 512 {
+				bad++
+			}
+		}
+		cl.StopMetering()
+		eng.Stop()
+	})
+	eng.Run()
+	eng.Shutdown()
+	if bad != 0 {
+		t.Fatalf("%d of 300 bulk-loaded records unreadable", bad)
+	}
+	// Bulk load must have created replicas on backups too.
+	replicas := 0
+	for _, s := range cl.Servers {
+		for _, other := range cl.Servers {
+			if s != other {
+				replicas += s.ReplicaCount(other.ID())
+			}
+		}
+	}
+	if replicas == 0 {
+		t.Fatal("bulk load created no replicas")
+	}
+}
+
+func TestCrashRecoveryPreservesAckedWrites(t *testing.T) {
+	eng := sim.New(4)
+	cl := NewCluster(eng, smallProfile(), 4, 2)
+	cl.Start()
+	table := cl.CreateTable("t")
+	cl.BulkLoad(table, 400, 512)
+
+	c := cl.NewClient()
+	var unreadable []int
+	var recovered bool
+	eng.Go("app", func(p *sim.Proc) {
+		// Overwrite some records through the RPC path so both loaded and
+		// written data must survive.
+		for i := 0; i < 100; i++ {
+			if err := c.Write(p, table, ycsb.Key(i), 256, nil); err != nil {
+				t.Errorf("write %d: %v", i, err)
+			}
+		}
+		cl.KillServer(1)
+		// Wait for recovery to complete.
+		for len(cl.Coord.Records()) == 0 {
+			p.Sleep(200 * sim.Millisecond)
+			if p.Now() > sim.Time(2*sim.Minute) {
+				t.Error("recovery did not complete within 2 minutes")
+				break
+			}
+		}
+		recovered = len(cl.Coord.Records()) > 0
+		for i := 0; i < 400; i++ {
+			want := uint32(512)
+			if i < 100 {
+				want = 256
+			}
+			n, _, err := c.Read(p, table, ycsb.Key(i))
+			if err != nil || n != want {
+				unreadable = append(unreadable, i)
+			}
+		}
+		cl.StopMetering()
+		eng.Stop()
+	})
+	eng.Run()
+	eng.Shutdown()
+	if !recovered {
+		t.Fatal("no recovery record")
+	}
+	if len(unreadable) != 0 {
+		t.Fatalf("%d records lost after crash recovery: %v", len(unreadable), unreadable[:min(10, len(unreadable))])
+	}
+}
+
+func TestScenarioRunBasics(t *testing.T) {
+	res := Run(Scenario{
+		Name:              "smoke",
+		Profile:           smallProfile(),
+		Servers:           2,
+		Clients:           4,
+		RF:                0,
+		Workload:          ycsb.WorkloadB(200, 1024),
+		RequestsPerClient: 500,
+		Seed:              7,
+	})
+	if res.TotalOps != 4*500 {
+		t.Fatalf("ops = %d", res.TotalOps)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("throughput not positive")
+	}
+	if res.AvgPowerPerServer < 61 || res.AvgPowerPerServer > 131 {
+		t.Fatalf("power = %v W implausible", res.AvgPowerPerServer)
+	}
+	if res.OpsPerJoule <= 0 {
+		t.Fatal("efficiency not positive")
+	}
+	if res.ReadLatency.Count() == 0 || res.WriteLatency.Count() == 0 {
+		t.Fatal("latency histograms empty")
+	}
+	if res.Crashed {
+		t.Fatal("run should not be marked crashed")
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	s := Scenario{
+		Name:              "det",
+		Profile:           smallProfile(),
+		Servers:           2,
+		Clients:           3,
+		Workload:          ycsb.WorkloadA(100, 1024),
+		RequestsPerClient: 200,
+		Seed:              99,
+	}
+	a := Run(s)
+	b := Run(s)
+	if a.TotalOps != b.TotalOps || a.Duration != b.Duration || a.TotalJoules != b.TotalJoules {
+		t.Fatalf("same seed diverged: ops %d/%d dur %v/%v joules %v/%v",
+			a.TotalOps, b.TotalOps, a.Duration, b.Duration, a.TotalJoules, b.TotalJoules)
+	}
+	s.Seed = 100
+	c := Run(s)
+	if a.Duration == c.Duration && a.TotalJoules == c.TotalJoules {
+		t.Fatal("different seeds produced identical run; randomness unplumbed")
+	}
+}
+
+func TestScenarioWithKillMeasuresRecovery(t *testing.T) {
+	res := Run(Scenario{
+		Name:        "kill",
+		Profile:     smallProfile(),
+		Servers:     4,
+		Clients:     0,
+		RF:          2,
+		Workload:    ycsb.Workload{RecordCount: 500, RecordSize: 512},
+		KillAfter:   2 * sim.Second,
+		KillTarget:  1,
+		IdleSeconds: 2,
+		Seed:        5,
+	})
+	if !res.Recovered {
+		t.Fatal("recovery did not complete")
+	}
+	if res.RecoveryTime <= 0 {
+		t.Fatalf("recovery time = %v", res.RecoveryTime)
+	}
+	if res.CPUSeries.Len() == 0 || res.PowerSeries.Len() == 0 {
+		t.Fatal("series empty")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

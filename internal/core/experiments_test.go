@@ -1,0 +1,127 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ramcloud/internal/ycsb"
+)
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 25 {
+		t.Fatalf("experiments = %d, want 25", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Setup == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		got, ok := ByID(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Errorf("ByID(%q) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) should fail")
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.normalize()
+	if o.Scale != 1.0 || o.Seed != 42 || o.Profile.Machine.Cores == 0 {
+		t.Fatalf("normalized = %+v", o)
+	}
+	if (Options{Scale: 2, Seed: 7}).normalize().Scale != 2 {
+		t.Fatal("explicit scale overridden")
+	}
+	if got := (Options{Scale: 0.5}).requests(10_000); got != 5000 {
+		t.Fatalf("requests = %d", got)
+	}
+	if got := (Options{Scale: 0.0001}).normalize().requests(10_000); got != 2000 {
+		t.Fatalf("requests floor = %d", got)
+	}
+	if got := (Options{Scale: 1}).records(10_000_000); got != 1_000_000 {
+		t.Fatalf("records = %d (recordScale %v)", got, recordScale)
+	}
+}
+
+func TestRenderContainsTables(t *testing.T) {
+	r := &ExpResult{
+		ID: "x", Title: "T", Setup: "S",
+		Tables: []Table{{Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}},
+		Notes:  []string{"hello"},
+	}
+	out := r.Render()
+	for _, want := range []string{"=== x: T ===", "a", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMemoReturnsSameResult(t *testing.T) {
+	s := Scenario{
+		Name: "memo-test", Servers: 2, Clients: 2,
+		Workload:          ycsb.WorkloadC(20_000, 1024),
+		RequestsPerClient: 2000, Seed: 3,
+	}
+	a := runMemo(s)
+	b := runMemo(s)
+	if a != b {
+		t.Fatal("memo did not deduplicate identical scenarios")
+	}
+	s.RequestsPerClient = 2001
+	if c := runMemo(s); c == a {
+		t.Fatal("memo conflated distinct scenarios")
+	}
+}
+
+func TestRunSeedsDistributions(t *testing.T) {
+	sweep := RunSeeds(Scenario{
+		Name: "sweep", Servers: 2, Clients: 3,
+		Workload:          ycsb.WorkloadB(20_000, 1024),
+		RequestsPerClient: 2000,
+	}, 3)
+	if sweep.Runs != 3 || sweep.Throughput.N() != 3 {
+		t.Fatalf("sweep runs = %d, samples = %d", sweep.Runs, sweep.Throughput.N())
+	}
+	if sweep.Throughput.Mean() <= 0 || sweep.PowerPerServer.Mean() < 61 {
+		t.Fatalf("sweep means: thr=%v pow=%v", sweep.Throughput.Mean(), sweep.PowerPerServer.Mean())
+	}
+	// Different seeds must produce at least slightly different runs.
+	if sweep.Throughput.Stddev() == 0 {
+		t.Fatal("zero variance across seeds; seeds not plumbed")
+	}
+}
+
+func TestKopsFormat(t *testing.T) {
+	if kops(2_004_000) != "2004K" {
+		t.Fatalf("kops = %q", kops(2_004_000))
+	}
+	if paperVs("a", "b") != "a / b" {
+		t.Fatal("paperVs format")
+	}
+}
+
+func TestWorkloadForPanicsOnJunk(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	workloadFor("zz", 1, 1)
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 42: "42", -3: "-3", 1000: "1000"}
+	for in, want := range cases {
+		if got := itoa(in); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"ramcloud/internal/sim"
+	"ramcloud/internal/ycsb"
+)
+
+// TestSequentialCrashesSurvive kills two servers one after the other with
+// RF 2: the first recovery re-replicates the lost data, so the second
+// crash must not lose anything either.
+func TestSequentialCrashesSurvive(t *testing.T) {
+	eng := sim.New(8)
+	cl := NewCluster(eng, smallProfile(), 5, 2)
+	cl.Start()
+	table := cl.CreateTable("t")
+	cl.BulkLoad(table, 600, 512)
+	c := cl.NewClient()
+	lost := 0
+	eng.Go("app", func(p *sim.Proc) {
+		waitRecoveries := func(n int) bool {
+			for len(cl.Coord.Records()) < n {
+				p.Sleep(250 * sim.Millisecond)
+				if p.Now() > sim.Time(3*sim.Minute) {
+					return false
+				}
+			}
+			return true
+		}
+		cl.KillServer(1)
+		if !waitRecoveries(1) {
+			t.Error("first recovery stalled")
+		}
+		cl.KillServer(3)
+		if !waitRecoveries(2) {
+			t.Error("second recovery stalled")
+		}
+		for i := 0; i < 600; i++ {
+			if n, _, err := c.Read(p, table, ycsb.Key(i)); err != nil || n != 512 {
+				lost++
+			}
+		}
+		cl.StopMetering()
+		eng.Stop()
+	})
+	eng.Run()
+	eng.Shutdown()
+	if lost != 0 {
+		t.Fatalf("%d records lost after two sequential crashes", lost)
+	}
+}
+
+// TestCrashDuringRecovery kills a second server while the first recovery
+// is still running. The cluster must converge: no panics, no permanently
+// recovering tablets, and data that survived both crashes stays readable.
+func TestCrashDuringRecovery(t *testing.T) {
+	eng := sim.New(9)
+	cl := NewCluster(eng, smallProfile(), 6, 3)
+	cl.Start()
+	table := cl.CreateTable("t")
+	cl.BulkLoad(table, 800, 512)
+	c := cl.NewClient()
+	readable := 0
+	eng.Go("app", func(p *sim.Proc) {
+		cl.KillServer(1)
+		// Kill another server shortly after detection, mid-recovery.
+		p.Sleep(1200 * sim.Millisecond)
+		cl.KillServer(2)
+		for len(cl.Coord.Records()) < 2 {
+			p.Sleep(500 * sim.Millisecond)
+			if p.Now() > sim.Time(4*sim.Minute) {
+				break
+			}
+		}
+		p.Sleep(2 * sim.Second)
+		for i := 0; i < 800; i++ {
+			if n, _, err := c.Read(p, table, ycsb.Key(i)); err == nil && n == 512 {
+				readable++
+			}
+		}
+		cl.StopMetering()
+		eng.Stop()
+	})
+	eng.Run()
+	eng.Shutdown()
+	// With RF 3 and two deaths, every record still has at least one
+	// replica; requiring >= 95% readable allows partitions whose recovery
+	// master died mid-replay and was re-recovered.
+	if readable < 760 {
+		t.Fatalf("only %d/800 records readable after overlapping crashes", readable)
+	}
+	if len(cl.Coord.AliveServers()) != 4 {
+		t.Fatalf("alive = %d, want 4", len(cl.Coord.AliveServers()))
+	}
+}
+
+// TestScenarioDeadlineMarksCrashed verifies the harness's "experiment
+// crashed" detection (paper Fig. 6a cells).
+func TestScenarioDeadlineMarksCrashed(t *testing.T) {
+	res := Run(Scenario{
+		Name:              "deadline",
+		Profile:           smallProfile(),
+		Servers:           2,
+		Clients:           4,
+		Workload:          ycsb.WorkloadA(5_000, 1024),
+		RequestsPerClient: 1_000_000, // cannot finish before the deadline
+		Deadline:          2 * sim.Second,
+		Seed:              3,
+	})
+	if !res.Crashed {
+		t.Fatal("deadline run not marked crashed")
+	}
+}
+
+// TestFig10StyleTargetedReads checks the custom fig10 helper path: keys
+// split by owner, victim's keys blocked during recovery.
+func TestFig10StyleTargetedReads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full custom recovery scenario")
+	}
+	res := runFig10(Options{Scale: 0.05, Seed: 4})
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	if len(res.Tables) == 0 || len(res.Tables[0].Rows) != 3 {
+		t.Fatalf("tables malformed: %+v", res.Tables)
+	}
+}

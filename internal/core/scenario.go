@@ -1,0 +1,291 @@
+package core
+
+import (
+	"ramcloud/internal/metrics"
+	"ramcloud/internal/sim"
+	"ramcloud/internal/ycsb"
+)
+
+// Scenario describes one measured run: cluster shape, workload, load
+// level, replication factor and optional fault injection — the knobs the
+// paper sweeps across its experiments.
+type Scenario struct {
+	Name    string
+	Profile Profile
+
+	Servers int
+	Clients int
+	RF      int // replication factor; 0 disables replication
+
+	Workload          ycsb.Workload
+	RequestsPerClient int
+	Rate              float64 // per-client throttle (ops/s); 0 = unthrottled
+
+	Seed int64
+
+	// KillAfter, when > 0, crashes one server at that simulated time.
+	KillAfter  sim.Duration
+	KillTarget int // server index to kill; -1 picks one deterministically
+
+	// IdleSeconds runs the cluster without client load for this long
+	// (after the kill, recovery is awaited) — the Fig. 9 setup.
+	IdleSeconds int
+
+	// Deadline aborts the run and marks it crashed — reproducing the
+	// paper's "experiments were always crashing because of excessive
+	// timeouts" cells. Zero means no deadline.
+	Deadline sim.Duration
+}
+
+// Result is everything a scenario run measures.
+type Result struct {
+	Scenario string
+
+	TotalOps   int64
+	Duration   sim.Duration // first workload op to last completion
+	Throughput float64      // ops/s aggregate
+
+	AvgPowerPerServer float64
+	TotalJoules       float64
+	OpsPerJoule       float64
+
+	CPUMeanPerNode []float64 // mean utilization per server over the window
+	CPUMin, CPUMax float64   // min/max of per-node means (Table I)
+
+	// Per-second series averaged across server nodes (Figs. 9a, 9b).
+	CPUSeries   *metrics.Series // utilization fraction
+	PowerSeries *metrics.Series // watts
+
+	// Aggregate disk I/O across servers (Fig. 12), MB/s per second.
+	DiskReadMBs  *metrics.Series
+	DiskWriteMBs *metrics.Series
+
+	// Per-client average latency per second in microseconds (Fig. 10).
+	ClientLatencyUs []*metrics.Series
+
+	ReadLatency  *metrics.Histogram
+	WriteLatency *metrics.Histogram
+
+	Timeouts int64
+	Failures int64
+
+	// Recovery, when a kill was injected.
+	KilledAt     sim.Time
+	RecoveryTime sim.Duration // kill -> last partition flipped
+	Recovered    bool
+
+	// Cleaner activity across all servers.
+	CleanerPasses int64
+	CleanerFreed  int64
+
+	Crashed bool // deadline exceeded
+}
+
+// Run executes a scenario to completion and collects its measurements.
+func Run(s Scenario) *Result {
+	if s.Profile.Machine.Cores == 0 {
+		s.Profile = DefaultProfile()
+	}
+	eng := sim.New(s.Seed)
+	cl := NewCluster(eng, s.Profile, s.Servers, s.RF)
+	cl.Start()
+
+	table := cl.CreateTable("usertable")
+	if s.Workload.RecordCount > 0 {
+		cl.BulkLoad(table, s.Workload.RecordCount, s.Workload.RecordSize)
+	}
+
+	res := &Result{Scenario: s.Name}
+	wg := sim.NewWaitGroup(eng)
+	var startSec, endSec int
+	var workStart, workEnd sim.Time
+
+	// Clients.
+	for i := 0; i < s.Clients; i++ {
+		i := i
+		c := cl.NewClient()
+		wg.Add(1)
+		eng.Go("client-"+itoa(i), func(p *sim.Proc) {
+			defer wg.Done()
+			p.Sleep(sim.Millisecond) // allow bring-up to settle
+			ycsb.RunClient(p, c, s.Workload, ycsb.RunOptions{
+				Table:    table,
+				Requests: s.RequestsPerClient,
+				Rate:     s.Rate,
+				Seed:     s.Seed + int64(i)*7919,
+			})
+		})
+	}
+
+	// Fault injection.
+	if s.KillAfter > 0 {
+		target := s.KillTarget
+		if target < 0 {
+			target = int(s.Seed) % s.Servers
+			if target < 0 {
+				target += s.Servers
+			}
+		}
+		eng.Schedule(s.KillAfter, func() {
+			res.KilledAt = eng.Now()
+			cl.KillServer(target)
+		})
+	}
+
+	// Controller: decide when the run is over.
+	done := false
+	finish := func() {
+		if done {
+			return
+		}
+		done = true
+		if workEnd == 0 {
+			workEnd = eng.Now()
+		}
+		cl.StopMetering()
+		eng.Stop()
+	}
+	if s.Deadline > 0 {
+		eng.Schedule(s.Deadline, func() {
+			if !done {
+				res.Crashed = true
+				finish()
+			}
+		})
+	}
+	eng.Go("controller", func(p *sim.Proc) {
+		workStart = p.Now()
+		wg.Wait(p)
+		workEnd = p.Now()
+		if s.KillAfter > 0 {
+			// Await recovery completion (poll the coordinator's records).
+			for len(cl.Coord.Records()) == 0 {
+				p.Sleep(100 * sim.Millisecond)
+				if p.Now() > sim.Time(10*sim.Minute) {
+					break // recovery never finished; report as-is
+				}
+			}
+		}
+		if s.IdleSeconds > 0 {
+			p.Sleep(sim.Duration(s.IdleSeconds) * sim.Second)
+		}
+		// Let the final PDU tick cover the last full second.
+		p.Sleep(sim.Second)
+		finish()
+	})
+
+	eng.Run()
+	finalNow := eng.Now()
+	eng.Shutdown()
+	for _, node := range cl.Nodes {
+		node.FlushAccounting(finalNow)
+	}
+
+	// Measurement window: whole seconds covered by the workload (power
+	// and CPU means are computed there, so an idle tail does not dilute
+	// them). Series cover the entire run, recovery included.
+	startSec = 0
+	endSec = int(int64(workEnd) / int64(sim.Second))
+	if endSec < 1 {
+		endSec = 1
+	}
+	seriesEnd := int(int64(finalNow) / int64(sim.Second))
+	if seriesEnd < endSec {
+		seriesEnd = endSec
+	}
+	if s.Clients == 0 {
+		// Idle/recovery scenarios: measure over the whole run.
+		endSec = seriesEnd
+	}
+	res.Duration = workEnd.Sub(workStart)
+
+	// Client-side aggregation.
+	res.ReadLatency = metrics.NewHistogram()
+	res.WriteLatency = metrics.NewHistogram()
+	var lastDone sim.Time
+	for _, c := range cl.Clients {
+		st := c.Stats()
+		res.TotalOps += st.Ops.Value()
+		res.Timeouts += st.Timeouts.Value()
+		res.Failures += st.Failures.Value()
+		res.ReadLatency.Merge(st.ReadLatency)
+		res.WriteLatency.Merge(st.WriteLatency)
+		var lat metrics.Series
+		for k := 0; k < st.LatCntSecond.Len(); k++ {
+			if n := st.LatCntSecond.At(k); n > 0 {
+				lat.Set(k, st.LatSumSecond.At(k)/n/1000) // us
+			}
+		}
+		res.ClientLatencyUs = append(res.ClientLatencyUs, &lat)
+	}
+	_ = lastDone
+	if s.Clients > 0 && res.Duration > 0 {
+		res.Throughput = float64(res.TotalOps) / res.Duration.Seconds()
+	}
+
+	// Server-side aggregation.
+	rep := cl.EnergyReport(startSec, endSec, res.TotalOps)
+	res.AvgPowerPerServer = rep.MeanNodeWatts()
+	res.TotalJoules = rep.TotalJoules
+	res.OpsPerJoule = rep.EnergyEfficiency()
+
+	res.CPUMin, res.CPUMax = 2, -1
+	cpuSeries := &metrics.Series{}
+	powSeries := &metrics.Series{}
+	readMB := &metrics.Series{}
+	writeMB := &metrics.Series{}
+	for i, node := range cl.Nodes {
+		m := node.MeanUtil(startSec, endSec)
+		res.CPUMeanPerNode = append(res.CPUMeanPerNode, m)
+		if m < res.CPUMin {
+			res.CPUMin = m
+		}
+		if m > res.CPUMax {
+			res.CPUMax = m
+		}
+		for k := 0; k < seriesEnd; k++ {
+			cpuSeries.Add(k, node.UtilSecond(k)/float64(len(cl.Nodes)))
+			powSeries.Add(k, cl.PDUs[i].WattsAt(k)/float64(len(cl.Nodes)))
+			readMB.Add(k, cl.Disks[i].ReadBytesSecond(k)/1e6)
+			writeMB.Add(k, cl.Disks[i].WriteBytesSecond(k)/1e6)
+		}
+	}
+	res.CPUSeries = cpuSeries
+	res.PowerSeries = powSeries
+	res.DiskReadMBs = readMB
+	res.DiskWriteMBs = writeMB
+
+	for _, srv := range cl.Servers {
+		res.CleanerPasses += srv.Stats().CleanerPasses.Value()
+		res.CleanerFreed += srv.Stats().CleanerFreed.Value()
+	}
+
+	// Recovery bookkeeping.
+	if recs := cl.Coord.Records(); len(recs) > 0 && res.KilledAt > 0 {
+		res.Recovered = true
+		res.RecoveryTime = recs[0].DoneAt.Sub(res.KilledAt)
+	}
+	return res
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var b [20]byte
+	pos := len(b)
+	for i > 0 {
+		pos--
+		b[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		pos--
+		b[pos] = '-'
+	}
+	return string(b[pos:])
+}

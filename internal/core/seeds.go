@@ -1,0 +1,35 @@
+package core
+
+import "ramcloud/internal/metrics"
+
+// RunSeeds executes the scenario with n different seeds and aggregates
+// throughput, power and efficiency distributions.
+func RunSeeds(s Scenario, n int) *SeedSweep {
+	sweep := &SeedSweep{Scenario: s.Name, Runs: n}
+	base := s.Seed
+	if base == 0 {
+		base = 42
+	}
+	for i := 0; i < n; i++ {
+		s.Seed = base + int64(i)*104729
+		r := Run(s)
+		sweep.Throughput.Add(r.Throughput)
+		sweep.PowerPerServer.Add(r.AvgPowerPerServer)
+		sweep.OpsPerJoule.Add(r.OpsPerJoule)
+		if r.Recovered {
+			sweep.RecoverySeconds.Add(r.RecoveryTime.Seconds())
+		}
+	}
+	return sweep
+}
+
+// SeedSweep holds the per-metric distributions of a multi-seed run.
+type SeedSweep struct {
+	Scenario string
+	Runs     int
+
+	Throughput      metrics.Distribution
+	PowerPerServer  metrics.Distribution
+	OpsPerJoule     metrics.Distribution
+	RecoverySeconds metrics.Distribution
+}

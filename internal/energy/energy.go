@@ -1,0 +1,133 @@
+// Package energy models the power instrumentation of the testbed: each node
+// has a Power Distribution Unit (PDU) sampled once per second, exactly like
+// the SNMP-polled PDUs on the Grid'5000 Nancy site used in the paper.
+//
+// Node power is dominated by CPU activity; the model is linear in CPU
+// utilization with small additive terms for disk and NIC activity:
+//
+//	P = Idle + CPU*util + Disk*diskBusyFrac + NIC*nicBusyFrac
+//
+// The default coefficients are fitted to the paper's own (utilization,
+// watts) observations: ~50% CPU -> 92 W and ~98% CPU -> ~122 W (Fig. 1b and
+// Table I), giving Idle = 61 W and CPU = 62 W.
+package energy
+
+import "ramcloud/internal/metrics"
+
+// PowerModel converts resource activity fractions into watts.
+type PowerModel struct {
+	IdleWatts float64 // machine powered on, OS idle
+	CPUWatts  float64 // additional watts at 100% CPU
+	DiskWatts float64 // additional watts with the disk fully busy
+	NICWatts  float64 // additional watts with the NIC fully busy
+}
+
+// DefaultPowerModel returns the model fitted to the paper's measurements.
+func DefaultPowerModel() PowerModel {
+	return PowerModel{IdleWatts: 61.0, CPUWatts: 62.0, DiskWatts: 5.0, NICWatts: 3.0}
+}
+
+// Power returns instantaneous watts for the given activity fractions, each
+// clamped to [0, 1].
+func (m PowerModel) Power(cpuUtil, diskBusy, nicBusy float64) float64 {
+	return m.IdleWatts +
+		m.CPUWatts*clamp01(cpuUtil) +
+		m.DiskWatts*clamp01(diskBusy) +
+		m.NICWatts*clamp01(nicBusy)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ActivityFunc reports a node's activity fraction for a completed second.
+type ActivityFunc func(second int) float64
+
+// PDU samples one node's power once per simulated second. Drive it by
+// calling Sample(k) for each completed second k (the cluster's metering
+// ticker does this for all PDUs in lockstep, mirroring the paper's
+// one-script-per-machine SNMP polling).
+type PDU struct {
+	model PowerModel
+
+	cpu  ActivityFunc
+	disk ActivityFunc
+	nic  ActivityFunc
+
+	watts  metrics.Series
+	joules float64
+	last   int
+}
+
+// NewPDU returns a PDU for one node. Nil activity functions read as zero.
+func NewPDU(model PowerModel, cpu, disk, nic ActivityFunc) *PDU {
+	zero := func(int) float64 { return 0 }
+	if cpu == nil {
+		cpu = zero
+	}
+	if disk == nil {
+		disk = zero
+	}
+	if nic == nil {
+		nic = zero
+	}
+	return &PDU{model: model, cpu: cpu, disk: disk, nic: nic, last: -1}
+}
+
+// Sample records the average power over second k and integrates energy.
+// Seconds must be sampled in increasing order; duplicates are ignored.
+func (p *PDU) Sample(k int) {
+	if k <= p.last {
+		return
+	}
+	p.last = k
+	w := p.model.Power(p.cpu(k), p.disk(k), p.nic(k))
+	p.watts.Set(k, w)
+	p.joules += w // 1-second samples: watts == joules
+}
+
+// Watts returns the sampled power series.
+func (p *PDU) Watts() *metrics.Series { return &p.watts }
+
+// WattsAt returns the sampled power for second k (0 if not sampled).
+func (p *PDU) WattsAt(k int) float64 { return p.watts.At(k) }
+
+// Joules returns the total energy integrated so far.
+func (p *PDU) Joules() float64 { return p.joules }
+
+// MeanWatts returns average power over sampled seconds [from, to).
+func (p *PDU) MeanWatts(from, to int) float64 { return p.watts.Mean(from, to) }
+
+// Report aggregates a set of PDUs (one per cluster node).
+type Report struct {
+	PerNodeWatts []float64 // mean watts per node over the measured window
+	TotalJoules  float64
+	Ops          int64
+}
+
+// EnergyEfficiency returns operations per joule, the paper's efficiency
+// metric. Zero when no energy was consumed.
+func (r Report) EnergyEfficiency() float64 {
+	if r.TotalJoules <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.TotalJoules
+}
+
+// MeanNodeWatts returns the average of the per-node means.
+func (r Report) MeanNodeWatts() float64 {
+	if len(r.PerNodeWatts) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, w := range r.PerNodeWatts {
+		s += w
+	}
+	return s / float64(len(r.PerNodeWatts))
+}

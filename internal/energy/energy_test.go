@@ -1,0 +1,97 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPowerModelLinear(t *testing.T) {
+	m := PowerModel{IdleWatts: 60, CPUWatts: 60, DiskWatts: 10, NICWatts: 4}
+	cases := []struct {
+		cpu, disk, nic float64
+		want           float64
+	}{
+		{0, 0, 0, 60},
+		{1, 0, 0, 120},
+		{0.5, 0, 0, 90},
+		{0.5, 1, 0.5, 102},
+		{2, -1, 0, 120}, // clamped
+	}
+	for _, c := range cases {
+		if got := m.Power(c.cpu, c.disk, c.nic); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Power(%v,%v,%v) = %v, want %v", c.cpu, c.disk, c.nic, got, c.want)
+		}
+	}
+}
+
+func TestDefaultModelMatchesPaperAnchors(t *testing.T) {
+	m := DefaultPowerModel()
+	// Paper: 1 server + 1 client -> ~50% CPU -> 92 W.
+	if got := m.Power(0.4981, 0, 0); math.Abs(got-92) > 2 {
+		t.Errorf("power at 49.8%% CPU = %.1f W, want ~92 W", got)
+	}
+	// Paper: 1 server + 10 clients -> ~98% CPU -> ~122 W.
+	if got := m.Power(0.9835, 0, 0); math.Abs(got-122) > 2 {
+		t.Errorf("power at 98.4%% CPU = %.1f W, want ~122 W", got)
+	}
+	// Idle with RAMCloud running (25% CPU floor) should sit near 76-77 W.
+	if got := m.Power(0.25, 0, 0); got < 74 || got > 79 {
+		t.Errorf("power at 25%% CPU = %.1f W, want ~76 W", got)
+	}
+}
+
+func TestPDUSampling(t *testing.T) {
+	m := PowerModel{IdleWatts: 100, CPUWatts: 100}
+	util := []float64{0.5, 1.0, 0.0}
+	pdu := NewPDU(m, func(k int) float64 { return util[k] }, nil, nil)
+	for k := 0; k < 3; k++ {
+		pdu.Sample(k)
+	}
+	if pdu.WattsAt(0) != 150 || pdu.WattsAt(1) != 200 || pdu.WattsAt(2) != 100 {
+		t.Fatalf("watts = %v", pdu.Watts().Values())
+	}
+	if pdu.Joules() != 450 {
+		t.Fatalf("joules = %v", pdu.Joules())
+	}
+	if pdu.MeanWatts(0, 3) != 150 {
+		t.Fatalf("mean = %v", pdu.MeanWatts(0, 3))
+	}
+}
+
+func TestPDUDuplicateSampleIgnored(t *testing.T) {
+	pdu := NewPDU(PowerModel{IdleWatts: 10}, nil, nil, nil)
+	pdu.Sample(0)
+	pdu.Sample(0)
+	if pdu.Joules() != 10 {
+		t.Fatalf("joules = %v, want 10", pdu.Joules())
+	}
+}
+
+func TestPDUNilSources(t *testing.T) {
+	pdu := NewPDU(PowerModel{IdleWatts: 42}, nil, nil, nil)
+	pdu.Sample(0)
+	if pdu.WattsAt(0) != 42 {
+		t.Fatalf("watts = %v", pdu.WattsAt(0))
+	}
+}
+
+func TestReportEfficiency(t *testing.T) {
+	r := Report{TotalJoules: 100, Ops: 300_000}
+	if got := r.EnergyEfficiency(); got != 3000 {
+		t.Fatalf("efficiency = %v", got)
+	}
+	empty := Report{}
+	if empty.EnergyEfficiency() != 0 {
+		t.Fatal("empty report efficiency must be 0")
+	}
+}
+
+func TestReportMeanNodeWatts(t *testing.T) {
+	r := Report{PerNodeWatts: []float64{100, 110, 120}}
+	if got := r.MeanNodeWatts(); math.Abs(got-110) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	if (Report{}).MeanNodeWatts() != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+}

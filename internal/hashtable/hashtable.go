@@ -1,0 +1,184 @@
+// Package hashtable implements the master's object index, mapping 64-bit
+// key hashes to packed log references, in the style of RAMCloud's
+// cache-line-bucket hash table: each bucket holds eight (hash, ref) slots
+// plus an overflow chain, and the directory doubles when the table gets
+// dense.
+//
+// The table stores full 64-bit hashes but does not store keys: distinct
+// keys can share a hash, so lookups take an equality callback that checks
+// the candidate's key in the log, exactly as RAMCloud does.
+package hashtable
+
+const slotsPerBucket = 8
+
+// maxLoad is entries per directory slot beyond which the table doubles
+// (6 of 8 slots used on average).
+const maxLoad = 6
+
+type bucket struct {
+	hashes   [slotsPerBucket]uint64
+	refs     [slotsPerBucket]uint64
+	used     [slotsPerBucket]bool
+	overflow *bucket
+}
+
+// EqualFunc reports whether the entry referenced by ref is the key the
+// caller is looking for.
+type EqualFunc func(ref uint64) bool
+
+// Table is the hash table. Construct with New.
+type Table struct {
+	buckets []bucket
+	mask    uint64
+	n       int
+
+	overflowBuckets int
+}
+
+// New returns a table with an initial directory sized for at least
+// sizeHint entries (minimum 16 buckets).
+func New(sizeHint int) *Table {
+	nb := 16
+	for nb*maxLoad < sizeHint {
+		nb *= 2
+	}
+	return &Table{buckets: make([]bucket, nb), mask: uint64(nb - 1)}
+}
+
+// Len returns the number of stored entries.
+func (t *Table) Len() int { return t.n }
+
+// OverflowBuckets returns the number of chained buckets (a health metric).
+func (t *Table) OverflowBuckets() int { return t.overflowBuckets }
+
+// DirectorySize returns the number of top-level buckets.
+func (t *Table) DirectorySize() int { return len(t.buckets) }
+
+// Lookup finds an entry with the given hash whose referent satisfies eq.
+// A nil eq matches any entry with the hash.
+func (t *Table) Lookup(hash uint64, eq EqualFunc) (uint64, bool) {
+	b := &t.buckets[hash&t.mask]
+	for b != nil {
+		for i := 0; i < slotsPerBucket; i++ {
+			if b.used[i] && b.hashes[i] == hash && (eq == nil || eq(b.refs[i])) {
+				return b.refs[i], true
+			}
+		}
+		b = b.overflow
+	}
+	return 0, false
+}
+
+// Insert adds a new entry. It does not check for duplicates; use Replace
+// for read-modify-write of an existing key.
+func (t *Table) Insert(hash uint64, ref uint64) {
+	if t.n >= len(t.buckets)*maxLoad {
+		t.grow()
+	}
+	t.insertNoGrow(hash, ref)
+	t.n++
+}
+
+func (t *Table) insertNoGrow(hash uint64, ref uint64) {
+	b := &t.buckets[hash&t.mask]
+	for {
+		for i := 0; i < slotsPerBucket; i++ {
+			if !b.used[i] {
+				b.hashes[i] = hash
+				b.refs[i] = ref
+				b.used[i] = true
+				return
+			}
+		}
+		if b.overflow == nil {
+			b.overflow = &bucket{}
+			t.overflowBuckets++
+		}
+		b = b.overflow
+	}
+}
+
+// Replace updates the ref of an existing entry (found by hash + eq) and
+// returns the previous ref. ok is false when no entry matched.
+func (t *Table) Replace(hash uint64, eq EqualFunc, newRef uint64) (old uint64, ok bool) {
+	b := &t.buckets[hash&t.mask]
+	for b != nil {
+		for i := 0; i < slotsPerBucket; i++ {
+			if b.used[i] && b.hashes[i] == hash && (eq == nil || eq(b.refs[i])) {
+				old = b.refs[i]
+				b.refs[i] = newRef
+				return old, true
+			}
+		}
+		b = b.overflow
+	}
+	return 0, false
+}
+
+// Delete removes an entry and returns its ref. ok is false when no entry
+// matched.
+func (t *Table) Delete(hash uint64, eq EqualFunc) (ref uint64, ok bool) {
+	b := &t.buckets[hash&t.mask]
+	for b != nil {
+		for i := 0; i < slotsPerBucket; i++ {
+			if b.used[i] && b.hashes[i] == hash && (eq == nil || eq(b.refs[i])) {
+				ref = b.refs[i]
+				b.used[i] = false
+				t.n--
+				return ref, true
+			}
+		}
+		b = b.overflow
+	}
+	return 0, false
+}
+
+// ForEach visits every entry. The callback must not mutate the table.
+func (t *Table) ForEach(fn func(hash, ref uint64)) {
+	for i := range t.buckets {
+		for b := &t.buckets[i]; b != nil; b = b.overflow {
+			for s := 0; s < slotsPerBucket; s++ {
+				if b.used[s] {
+					fn(b.hashes[s], b.refs[s])
+				}
+			}
+		}
+	}
+}
+
+// grow doubles the directory and rehashes every entry.
+func (t *Table) grow() {
+	old := t.buckets
+	t.buckets = make([]bucket, len(old)*2)
+	t.mask = uint64(len(t.buckets) - 1)
+	t.overflowBuckets = 0
+	for i := range old {
+		for b := &old[i]; b != nil; b = b.overflow {
+			for s := 0; s < slotsPerBucket; s++ {
+				if b.used[s] {
+					t.insertNoGrow(b.hashes[s], b.refs[s])
+				}
+			}
+		}
+	}
+}
+
+// FNV-1a 64-bit, the key-hash function used throughout the system.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// HashKey hashes a (table, key) pair to the 64-bit key-hash space.
+func HashKey(table uint64, key []byte) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(table >> (8 * i)))
+		h *= fnvPrime
+	}
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}

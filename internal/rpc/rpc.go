@@ -1,0 +1,178 @@
+// Package rpc layers request/response semantics over the simulated fabric.
+// Every node (server, coordinator, client) owns one Endpoint. Outbound
+// calls are matched to responses by RPC id through futures; inbound
+// requests land in a queue serviced by the node's dispatch proc.
+//
+// Message sizes on the wire are computed from the real binary encoding
+// (wire.Size), so transfer timing matches what a physical network would
+// see.
+package rpc
+
+import (
+	"fmt"
+
+	"ramcloud/internal/sim"
+	"ramcloud/internal/simnet"
+	"ramcloud/internal/wire"
+)
+
+// Request is an inbound RPC awaiting service.
+type Request struct {
+	From      simnet.NodeID
+	RPCID     uint64
+	Msg       any
+	ArrivedAt sim.Time
+}
+
+// packet is the fabric payload: either a request or a response.
+type packet struct {
+	rpcID uint64
+	msg   any
+	resp  bool
+}
+
+// Endpoint is one node's RPC port.
+type Endpoint struct {
+	eng  *sim.Engine
+	net  *simnet.Network
+	node simnet.NodeID
+
+	nextID  uint64
+	pending map[uint64]*sim.Future[any]
+
+	// Inbound holds requests awaiting the dispatch proc.
+	Inbound *sim.Queue[Request]
+
+	sent     uint64
+	received uint64
+}
+
+// NewEndpoint attaches a node to the fabric and returns its endpoint.
+func NewEndpoint(e *sim.Engine, net *simnet.Network, node simnet.NodeID) *Endpoint {
+	ep := &Endpoint{
+		eng:     e,
+		net:     net,
+		node:    node,
+		pending: make(map[uint64]*sim.Future[any]),
+		Inbound: sim.NewQueue[Request](e),
+	}
+	net.Attach(node, ep.deliver)
+	return ep
+}
+
+// Node returns the endpoint's fabric address.
+func (ep *Endpoint) Node() simnet.NodeID { return ep.node }
+
+// Sent returns the number of requests issued.
+func (ep *Endpoint) Sent() uint64 { return ep.sent }
+
+// Received returns the number of requests received.
+func (ep *Endpoint) Received() uint64 { return ep.received }
+
+func (ep *Endpoint) deliver(m simnet.Message) {
+	pkt := m.Payload.(packet)
+	if pkt.resp {
+		f, ok := ep.pending[pkt.rpcID]
+		if !ok {
+			return // late response after timeout: dropped
+		}
+		delete(ep.pending, pkt.rpcID)
+		f.Set(pkt.msg)
+		return
+	}
+	ep.received++
+	ep.Inbound.Push(Request{From: m.From, RPCID: pkt.rpcID, Msg: pkt.msg, ArrivedAt: ep.eng.Now()})
+}
+
+// AsyncCall issues a request and returns a future for the response. Use
+// for fan-out (replication) where the caller gathers several acks.
+func (ep *Endpoint) AsyncCall(to simnet.NodeID, msg any) *sim.Future[any] {
+	ep.nextID++
+	id := ep.nextID
+	f := sim.NewFuture[any](ep.eng)
+	ep.pending[id] = f
+	ep.sent++
+	size := wire.Size(wire.Envelope{RPCID: id, Msg: msg})
+	ep.net.Send(simnet.Message{From: ep.node, To: to, Size: size, Payload: packet{rpcID: id, msg: msg}})
+	return f
+}
+
+// Call issues a request and blocks until the response arrives. It never
+// gives up; use CallTimeout when the peer may be dead.
+func (ep *Endpoint) Call(p *sim.Proc, to simnet.NodeID, msg any) any {
+	return ep.AsyncCall(to, msg).Get(p)
+}
+
+// CallTimeout issues a request and waits up to d for the response. On
+// timeout the pending entry is dropped so a late response is discarded.
+func (ep *Endpoint) CallTimeout(p *sim.Proc, to simnet.NodeID, msg any, d sim.Duration) (any, bool) {
+	ep.nextID++
+	id := ep.nextID
+	f := sim.NewFuture[any](ep.eng)
+	ep.pending[id] = f
+	ep.sent++
+	size := wire.Size(wire.Envelope{RPCID: id, Msg: msg})
+	ep.net.Send(simnet.Message{From: ep.node, To: to, Size: size, Payload: packet{rpcID: id, msg: msg}})
+	resp, ok := f.GetTimeout(p, d)
+	if !ok {
+		delete(ep.pending, id)
+	}
+	return resp, ok
+}
+
+// Reply sends a response for an inbound request.
+func (ep *Endpoint) Reply(req Request, msg any) {
+	size := wire.Size(wire.Envelope{RPCID: req.RPCID, Msg: msg})
+	ep.net.Send(simnet.Message{From: ep.node, To: req.From, Size: size, Payload: packet{rpcID: req.RPCID, msg: msg, resp: true}})
+}
+
+// WaitAll blocks until every future resolves, returning the responses in
+// order. Used by the replication fan-out ("wait for acknowledgements from
+// all backups").
+func WaitAll(p *sim.Proc, futures []*sim.Future[any]) []any {
+	out := make([]any, len(futures))
+	for i, f := range futures {
+		out[i] = f.Get(p)
+	}
+	return out
+}
+
+// MustStatus extracts a status from a response message known to carry one.
+func MustStatus(msg any) wire.Status {
+	switch m := msg.(type) {
+	case *wire.ReadResp:
+		return m.Status
+	case *wire.WriteResp:
+		return m.Status
+	case *wire.DeleteResp:
+		return m.Status
+	case *wire.CreateTableResp:
+		return m.Status
+	case *wire.DropTableResp:
+		return m.Status
+	case *wire.GetTabletMapResp:
+		return m.Status
+	case *wire.EnlistResp:
+		return m.Status
+	case *wire.SetWillResp:
+		return m.Status
+	case *wire.OpenSegmentResp:
+		return m.Status
+	case *wire.ReplicateResp:
+		return m.Status
+	case *wire.CloseSegmentResp:
+		return m.Status
+	case *wire.FreeReplicasResp:
+		return m.Status
+	case *wire.SegmentInventoryResp:
+		return m.Status
+	case *wire.GetRecoveryDataResp:
+		return m.Status
+	case *wire.RecoverResp:
+		return m.Status
+	case *wire.RecoveryDoneResp:
+		return m.Status
+	default:
+		panic(fmt.Sprintf("rpc: message %T carries no status", msg))
+	}
+}

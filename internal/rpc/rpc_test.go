@@ -1,0 +1,157 @@
+package rpc
+
+import (
+	"testing"
+
+	"ramcloud/internal/sim"
+	"ramcloud/internal/simnet"
+	"ramcloud/internal/wire"
+)
+
+func pair(t *testing.T) (*sim.Engine, *Endpoint, *Endpoint) {
+	t.Helper()
+	e := sim.New(1)
+	n := simnet.New(e, simnet.Config{PropagationDelay: 2 * sim.Microsecond, Bandwidth: 1e9})
+	return e, NewEndpoint(e, n, 1), NewEndpoint(e, n, 2)
+}
+
+// echoServer services inbound requests with a fixed delay.
+func echoServer(e *sim.Engine, ep *Endpoint, delay sim.Duration) {
+	e.Go("echo", func(p *sim.Proc) {
+		for {
+			req := ep.Inbound.Pop(p)
+			p.Sleep(delay)
+			switch m := req.Msg.(type) {
+			case *wire.PingReq:
+				ep.Reply(req, &wire.PingResp{Seq: m.Seq})
+			default:
+				ep.Reply(req, &wire.PingResp{Seq: 0})
+			}
+		}
+	})
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	e, cl, srv := pair(t)
+	echoServer(e, srv, 3*sim.Microsecond)
+	var seq uint64
+	e.Go("client", func(p *sim.Proc) {
+		resp := cl.Call(p, 2, &wire.PingReq{Seq: 77})
+		seq = resp.(*wire.PingResp).Seq
+	})
+	e.Run()
+	e.Shutdown()
+	if seq != 77 {
+		t.Fatalf("seq = %d", seq)
+	}
+	if cl.Sent() != 1 || srv.Received() != 1 {
+		t.Fatalf("sent=%d received=%d", cl.Sent(), srv.Received())
+	}
+}
+
+func TestConcurrentCallsCorrelate(t *testing.T) {
+	e, cl, srv := pair(t)
+	echoServer(e, srv, sim.Microsecond)
+	results := map[uint64]uint64{}
+	for i := uint64(1); i <= 20; i++ {
+		i := i
+		e.Go("c", func(p *sim.Proc) {
+			p.Sleep(sim.Duration(i) * 100 * sim.Nanosecond)
+			resp := cl.Call(p, 2, &wire.PingReq{Seq: i})
+			results[i] = resp.(*wire.PingResp).Seq
+		})
+	}
+	e.Run()
+	e.Shutdown()
+	if len(results) != 20 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for k, v := range results {
+		if k != v {
+			t.Fatalf("call %d got response %d", k, v)
+		}
+	}
+}
+
+func TestCallTimeoutOnDeadPeer(t *testing.T) {
+	e, cl, _ := pair(t)
+	// No server proc: requests pile up unanswered.
+	var ok bool
+	var elapsed sim.Duration
+	e.Go("client", func(p *sim.Proc) {
+		start := p.Now()
+		_, ok = cl.CallTimeout(p, 2, &wire.PingReq{Seq: 1}, 10*sim.Millisecond)
+		elapsed = p.Now().Sub(start)
+	})
+	e.Run()
+	e.Shutdown()
+	if ok {
+		t.Fatal("expected timeout")
+	}
+	if elapsed != 10*sim.Millisecond {
+		t.Fatalf("elapsed = %v", elapsed)
+	}
+}
+
+func TestLateResponseDropped(t *testing.T) {
+	e, cl, srv := pair(t)
+	echoServer(e, srv, 20*sim.Millisecond) // slower than the timeout
+	var first, second bool
+	e.Go("client", func(p *sim.Proc) {
+		_, first = cl.CallTimeout(p, 2, &wire.PingReq{Seq: 1}, 5*sim.Millisecond)
+		// Wait past the late response arrival; it must be discarded.
+		p.Sleep(30 * sim.Millisecond)
+		resp, ok := cl.CallTimeout(p, 2, &wire.PingReq{Seq: 2}, 100*sim.Millisecond)
+		second = ok && resp.(*wire.PingResp).Seq == 2
+	})
+	e.Run()
+	e.Shutdown()
+	if first {
+		t.Fatal("first call should have timed out")
+	}
+	if !second {
+		t.Fatal("second call should succeed with its own response")
+	}
+}
+
+func TestAsyncCallFanOut(t *testing.T) {
+	e := sim.New(1)
+	n := simnet.New(e, simnet.Config{PropagationDelay: sim.Microsecond, Bandwidth: 1e9})
+	cl := NewEndpoint(e, n, 1)
+	for id := simnet.NodeID(2); id <= 4; id++ {
+		ep := NewEndpoint(e, n, id)
+		echoServer(e, ep, sim.Duration(id)*sim.Microsecond)
+	}
+	var replies int
+	e.Go("client", func(p *sim.Proc) {
+		var futures []*sim.Future[any]
+		for id := simnet.NodeID(2); id <= 4; id++ {
+			futures = append(futures, cl.AsyncCall(id, &wire.PingReq{Seq: uint64(id)}))
+		}
+		for _, resp := range WaitAll(p, futures) {
+			if resp.(*wire.PingResp).Seq != 0 {
+				replies++
+			}
+		}
+	})
+	e.Run()
+	e.Shutdown()
+	if replies != 3 {
+		t.Fatalf("replies = %d", replies)
+	}
+}
+
+func TestMustStatus(t *testing.T) {
+	if MustStatus(&wire.WriteResp{Status: wire.StatusOK}) != wire.StatusOK {
+		t.Fatal("wrong status")
+	}
+	if MustStatus(&wire.ReadResp{Status: wire.StatusUnknownKey}) != wire.StatusUnknownKey {
+		t.Fatal("wrong status")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for statusless message")
+		}
+	}()
+	MustStatus(&wire.PingReq{})
+}

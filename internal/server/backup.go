@@ -1,0 +1,260 @@
+package server
+
+import (
+	"ramcloud/internal/rpc"
+	"ramcloud/internal/sim"
+	"ramcloud/internal/simnet"
+	"ramcloud/internal/wire"
+)
+
+// This file implements the backup role: open replicas staged in DRAM,
+// sealed replicas spilled to disk by a flush proc, and the recovery read
+// path. Backup requests run on the same worker pool as client requests —
+// the collocation whose contention the paper measures.
+
+// Registry resolves a fabric address to its server object, used only by
+// the zero-time bulk loader (FastLoad) to build cluster state directly.
+type Registry func(simnet.NodeID) *Server
+
+// SetRegistry installs the cluster's server lookup for bulk loading.
+func (s *Server) SetRegistry(r Registry) { s.registry = r }
+
+func (s *Server) serveOpenSegment(p *sim.Proc, req rpc.Request, m *wire.OpenSegmentReq) {
+	s.busy(p, sim.Scale(s.cfg.Costs.SegmentOpen, s.interference()))
+	key := replicaKey{master: m.Master, segment: m.Segment}
+	if _, exists := s.openReplicas[key]; !exists {
+		s.openReplicas[key] = &replica{key: key}
+		s.stats.SegmentsOpened.Inc()
+	}
+	s.ep.Reply(req, &wire.OpenSegmentResp{Status: wire.StatusOK})
+}
+
+func (s *Server) serveReplicate(p *sim.Proc, req rpc.Request, m *wire.ReplicateReq) {
+	key := replicaKey{master: m.Master, segment: m.Segment}
+	r, ok := s.openReplicas[key]
+	if !ok {
+		s.ep.Reply(req, &wire.ReplicateResp{Status: wire.StatusError})
+		return
+	}
+	var bytes int
+	for i := range m.Objects {
+		bytes += objectStorageBytes(&m.Objects[i])
+	}
+	cost := sim.Duration(int64(s.cfg.Costs.ReplicaAppend)*int64(len(m.Objects))) +
+		sim.Scale(s.cfg.Costs.PerKByte, float64(bytes)/1024)
+	s.busy(p, sim.Scale(cost, s.interference()))
+	r.objects = append(r.objects, m.Objects...)
+	r.bytes += bytes
+	s.stats.ReplicaAppends.Add(int64(len(m.Objects)))
+	s.ep.Reply(req, &wire.ReplicateResp{Status: wire.StatusOK})
+}
+
+func (s *Server) serveCloseSegment(p *sim.Proc, req rpc.Request, m *wire.CloseSegmentReq) {
+	key := replicaKey{master: m.Master, segment: m.Segment}
+	r, ok := s.openReplicas[key]
+	if !ok {
+		s.ep.Reply(req, &wire.CloseSegmentResp{Status: wire.StatusError})
+		return
+	}
+	delete(s.openReplicas, key)
+	r.sealed = true
+	s.sealReplicaLocked(r)
+	s.flushQ.Push(r)
+	s.ep.Reply(req, &wire.CloseSegmentResp{Status: wire.StatusOK})
+}
+
+func (s *Server) sealReplicaLocked(r *replica) {
+	byMaster, ok := s.sealedReplicas[r.key.master]
+	if !ok {
+		byMaster = make(map[uint64]*replica)
+		s.sealedReplicas[r.key.master] = byMaster
+	}
+	byMaster[r.key.segment] = r
+}
+
+// flushLoop spills sealed replicas to disk. The disk write contends with
+// recovery reads (Finding 6's disk interference).
+func (s *Server) flushLoop(p *sim.Proc) {
+	for {
+		r := s.flushQ.Pop(p)
+		if s.dead {
+			return
+		}
+		if r == nil {
+			continue
+		}
+		s.disk.Write(p, int64(r.bytes))
+		if s.dead {
+			return
+		}
+		r.onDisk = true
+		s.stats.SegmentsFlush.Inc()
+	}
+}
+
+func (s *Server) serveFreeReplicas(p *sim.Proc, req rpc.Request, m *wire.FreeReplicasReq) {
+	s.busy(p, s.cfg.Costs.SegmentOpen)
+	delete(s.sealedReplicas, m.Master)
+	for key := range s.openReplicas {
+		if key.master == m.Master {
+			delete(s.openReplicas, key)
+		}
+	}
+	for key := range s.recoveryReads {
+		if key.master == m.Master {
+			delete(s.recoveryReads, key)
+		}
+	}
+	s.ep.Reply(req, &wire.FreeReplicasResp{Status: wire.StatusOK})
+}
+
+func (s *Server) serveInventory(p *sim.Proc, req rpc.Request, m *wire.SegmentInventoryReq) {
+	s.busy(p, s.cfg.Costs.SegmentOpen)
+	var infos []wire.SegmentInfo
+	for segID, r := range s.sealedReplicas[m.Master] {
+		infos = append(infos, wire.SegmentInfo{Segment: segID, Bytes: uint32(r.bytes)})
+	}
+	for key, r := range s.openReplicas {
+		if key.master == m.Master {
+			infos = append(infos, wire.SegmentInfo{Segment: key.segment, Bytes: uint32(r.bytes)})
+		}
+	}
+	s.ep.Reply(req, &wire.SegmentInventoryResp{Status: wire.StatusOK, Segments: infos})
+}
+
+// serveGetRecoveryData returns a crashed master's segment content filtered
+// to a key-hash partition. The replica is read from disk once per recovery
+// and then served from memory for the other partitions' requests, like
+// RAMCloud backups that read each segment once and split it.
+func (s *Server) serveGetRecoveryData(p *sim.Proc, req rpc.Request, m *wire.GetRecoveryDataReq) {
+	key := replicaKey{master: m.Master, segment: m.Segment}
+	r := s.findReplica(key)
+	if r == nil {
+		s.ep.Reply(req, &wire.GetRecoveryDataResp{Status: wire.StatusError})
+		return
+	}
+	if r.onDisk && !s.recoveryReads[key] {
+		s.disk.Read(p, int64(r.bytes))
+		if s.dead {
+			return
+		}
+		s.recoveryReads[key] = true
+	}
+	var objs []wire.Object
+	var filtered int
+	for i := range r.objects {
+		o := &r.objects[i]
+		if o.KeyHash >= m.FirstHash && o.KeyHash <= m.LastHash {
+			objs = append(objs, *o)
+			filtered += objectStorageBytes(o)
+		}
+	}
+	s.busy(p, sim.Scale(s.cfg.Costs.PerKByte, float64(filtered)/1024))
+	s.ep.Reply(req, &wire.GetRecoveryDataResp{
+		Status:       wire.StatusOK,
+		SegmentBytes: uint32(r.bytes),
+		Objects:      objs,
+	})
+}
+
+func (s *Server) findReplica(key replicaKey) *replica {
+	if r, ok := s.openReplicas[key]; ok {
+		return r
+	}
+	if byMaster, ok := s.sealedReplicas[key.master]; ok {
+		if r, ok := byMaster[key.segment]; ok {
+			return r
+		}
+	}
+	return nil
+}
+
+// objectStorageBytes mirrors logstore's accounted entry size for a wire
+// object.
+func objectStorageBytes(o *wire.Object) int {
+	const header = 45 // logstore entryHeaderBytes
+	return header + len(o.Key) + int(o.ValueLen)
+}
+
+// ReplicaCount reports how many replicas (open + sealed) this backup holds
+// for the given master. Used by tests and verification tooling.
+func (s *Server) ReplicaCount(master int32) int {
+	n := len(s.sealedReplicas[master])
+	for key := range s.openReplicas {
+		if key.master == master {
+			n++
+		}
+	}
+	return n
+}
+
+// DiskBacklog returns how many sealed replicas have not yet been flushed.
+func (s *Server) DiskBacklog() int {
+	n := 0
+	for _, byMaster := range s.sealedReplicas {
+		for _, r := range byMaster {
+			if !r.onDisk {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Fast (zero-time) replica construction for bulk loading -------------------
+
+func (s *Server) fastOpenReplica(backup simnet.NodeID, segment uint64) {
+	b := s.registry(backup)
+	key := replicaKey{master: s.id, segment: segment}
+	b.openReplicas[key] = &replica{key: key}
+	b.stats.SegmentsOpened.Inc()
+}
+
+func (s *Server) fastAppendReplica(backup simnet.NodeID, segment uint64, obj wire.Object) {
+	b := s.registry(backup)
+	key := replicaKey{master: s.id, segment: segment}
+	r, ok := b.openReplicas[key]
+	if !ok {
+		return
+	}
+	r.objects = append(r.objects, obj)
+	r.bytes += objectStorageBytes(&obj)
+	b.stats.ReplicaAppends.Inc()
+}
+
+// fastSealReplicas seals the replicas of a just-rolled segment on their
+// backups and marks them on disk (the load phase's flushes are assumed
+// complete before the experiment starts).
+func (s *Server) fastSealReplicas(sealed interface{ ID() uint64 }) {
+	segID := sealed.ID()
+	for _, backup := range s.replicas[segID] {
+		b := s.registry(backup)
+		key := replicaKey{master: s.id, segment: segID}
+		if r, ok := b.openReplicas[key]; ok {
+			delete(b.openReplicas, key)
+			r.sealed = true
+			r.onDisk = true
+			b.sealReplicaLocked(r)
+		}
+	}
+}
+
+// applyRDMAWrite deposits one-sided RDMA replication data directly into
+// the target replica buffer. It runs at NIC level: no dispatch cost, no
+// worker, no CPU accounting beyond the transfer time already paid on the
+// fabric — the zero-CPU replication path the paper's Discussion proposes.
+func (s *Server) applyRDMAWrite(m *wire.RDMAWriteReq) {
+	key := replicaKey{master: m.Master, segment: m.Segment}
+	r, ok := s.openReplicas[key]
+	if !ok {
+		// The buffer must be registered (opened) first; a miss means the
+		// master raced a roll. The object is dropped at the NIC, exactly
+		// like a one-sided write to an unregistered region.
+		return
+	}
+	for i := range m.Objects {
+		r.bytes += objectStorageBytes(&m.Objects[i])
+	}
+	r.objects = append(r.objects, m.Objects...)
+	s.stats.ReplicaAppends.Add(int64(len(m.Objects)))
+}

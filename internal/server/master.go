@@ -1,0 +1,543 @@
+package server
+
+import (
+	"fmt"
+
+	"ramcloud/internal/hashtable"
+	"ramcloud/internal/logstore"
+	"ramcloud/internal/rpc"
+	"ramcloud/internal/sim"
+	"ramcloud/internal/simnet"
+	"ramcloud/internal/wire"
+)
+
+// This file implements the master role: tablet ownership, the read path,
+// the durable write path (log append + synchronous primary-backup
+// replication), deletes via tombstones, will maintenance and bulk loading.
+
+// AssignTablet gives the master ownership of a key-hash range. Called by
+// the coordinator's configuration plane.
+func (s *Server) AssignTablet(t wire.Tablet) {
+	t.Master = s.id
+	s.tablets = append(s.tablets, t)
+}
+
+// DropTablets removes ownership of every tablet of a table.
+func (s *Server) DropTablets(table uint64) {
+	out := s.tablets[:0]
+	for _, t := range s.tablets {
+		if t.Table != table {
+			out = append(out, t)
+		}
+	}
+	s.tablets = out
+}
+
+// Tablets returns a copy of the master's owned tablets.
+func (s *Server) Tablets() []wire.Tablet {
+	return append([]wire.Tablet(nil), s.tablets...)
+}
+
+// ownsKey reports whether the master owns (table, keyHash).
+func (s *Server) ownsKey(table uint64, keyHash uint64) bool {
+	for _, t := range s.tablets {
+		if t.Table == table && keyHash >= t.StartHash && keyHash <= t.EndHash {
+			return true
+		}
+	}
+	return false
+}
+
+// keyEq returns an equality callback that matches the hash-table candidate
+// whose log entry carries exactly (table, key).
+func (s *Server) keyEq(table uint64, key []byte) hashtable.EqualFunc {
+	return func(packed uint64) bool {
+		e, err := s.log.Get(logstore.UnpackRef(packed))
+		if err != nil {
+			return false
+		}
+		return e.Table == table && string(e.Key) == string(key)
+	}
+}
+
+func (s *Server) serveRead(p *sim.Proc, req rpc.Request, m *wire.ReadReq) {
+	keyHash := hashtable.HashKey(m.Table, m.Key)
+	if !s.ownsKey(m.Table, keyHash) {
+		s.stats.WrongServer.Inc()
+		s.ep.Reply(req, &wire.ReadResp{Status: wire.StatusWrongServer})
+		return
+	}
+	s.busy(p, sim.Scale(s.cfg.Costs.Read, s.interference()))
+	packed, ok := s.ht.Lookup(keyHash, s.keyEq(m.Table, m.Key))
+	if !ok {
+		s.ep.Reply(req, &wire.ReadResp{Status: wire.StatusUnknownKey})
+		return
+	}
+	e, err := s.log.Get(logstore.UnpackRef(packed))
+	if err != nil || e.Type != logstore.EntryObject {
+		s.ep.Reply(req, &wire.ReadResp{Status: wire.StatusUnknownKey})
+		return
+	}
+	s.stats.ReadsOK.Inc()
+	s.ep.Reply(req, &wire.ReadResp{
+		Status:   wire.StatusOK,
+		Version:  e.Version,
+		ValueLen: e.ValueLen,
+		Value:    e.Value,
+	})
+}
+
+func (s *Server) serveWrite(p *sim.Proc, req rpc.Request, m *wire.WriteReq) {
+	keyHash := hashtable.HashKey(m.Table, m.Key)
+	if !s.ownsKey(m.Table, keyHash) {
+		s.stats.WrongServer.Inc()
+		s.ep.Reply(req, &wire.WriteResp{Status: wire.StatusWrongServer})
+		return
+	}
+	entry := logstore.Entry{
+		Type:     logstore.EntryObject,
+		Table:    m.Table,
+		KeyHash:  keyHash,
+		Key:      m.Key,
+		ValueLen: m.ValueLen,
+		Value:    m.Value,
+	}
+	version, seg, ok := s.appendLocked(p, entry, 0, true)
+	if !ok {
+		s.ep.Reply(req, &wire.WriteResp{Status: wire.StatusError})
+		return
+	}
+	s.replicateObject(p, seg, wire.Object{
+		Table:    m.Table,
+		KeyHash:  keyHash,
+		Key:      m.Key,
+		ValueLen: m.ValueLen,
+		Version:  version,
+	})
+	s.stats.WritesOK.Inc()
+	s.ep.Reply(req, &wire.WriteResp{Status: wire.StatusOK, Version: version})
+}
+
+func (s *Server) serveDelete(p *sim.Proc, req rpc.Request, m *wire.DeleteReq) {
+	keyHash := hashtable.HashKey(m.Table, m.Key)
+	if !s.ownsKey(m.Table, keyHash) {
+		s.stats.WrongServer.Inc()
+		s.ep.Reply(req, &wire.DeleteResp{Status: wire.StatusWrongServer})
+		return
+	}
+	version, seg, status := s.deleteLocked(p, m.Table, keyHash, m.Key)
+	if status != wire.StatusOK {
+		s.ep.Reply(req, &wire.DeleteResp{Status: status})
+		return
+	}
+	s.replicateObject(p, seg, wire.Object{
+		Table:     m.Table,
+		KeyHash:   keyHash,
+		Key:       m.Key,
+		Version:   version,
+		Tombstone: true,
+	})
+	s.stats.DeletesOK.Inc()
+	s.ep.Reply(req, &wire.DeleteResp{Status: wire.StatusOK, Version: version})
+}
+
+// appendLocked runs the serialized section of the write path: contention-
+// inflated service cost, segment roll (with replica open/close), log
+// append and hash-table update. It returns the assigned version and the
+// segment the entry landed in. forceVersion > 0 pins the version (replay).
+func (s *Server) appendLocked(p *sim.Proc, entry logstore.Entry, forceVersion uint64, bumpVersion bool) (uint64, uint64, bool) {
+	waiters := s.logMu.Waiters()
+	s.lockWithSpin(p, s.logMu)
+	cost := s.cfg.Costs.WriteBase +
+		sim.Duration(int64(s.cfg.Costs.WriteContention)*int64(waiters*waiters)) +
+		sim.Scale(s.cfg.Costs.PerKByte, float64(entry.ValueLen)/1024)
+	s.busy(p, sim.Scale(cost, s.interference()))
+	if s.dead {
+		s.logMu.Unlock()
+		return 0, 0, false
+	}
+
+	if forceVersion > 0 {
+		entry.Version = forceVersion
+	} else if bumpVersion {
+		s.nextVersion++
+		entry.Version = s.nextVersion
+	}
+
+	if s.log.NeedsRoll(entry.StorageSize()) {
+		s.rollLocked(p)
+	}
+	ref, err := s.log.Append(entry)
+	if err != nil {
+		s.logMu.Unlock()
+		return 0, 0, false
+	}
+	s.indexEntry(entry, ref)
+	s.logMu.Unlock()
+	return entry.Version, ref.Segment, true
+}
+
+// indexEntry updates the hash table for a freshly appended entry and marks
+// any previous version dead.
+func (s *Server) indexEntry(entry logstore.Entry, ref logstore.Ref) {
+	eq := s.keyEq(entry.Table, entry.Key)
+	if entry.Type == logstore.EntryTombstone {
+		if old, ok := s.ht.Delete(entry.KeyHash, eq); ok {
+			_ = s.log.MarkDead(logstore.UnpackRef(old))
+		}
+		return
+	}
+	if old, ok := s.ht.Replace(entry.KeyHash, eq, ref.Packed()); ok {
+		_ = s.log.MarkDead(logstore.UnpackRef(old))
+	} else {
+		s.ht.Insert(entry.KeyHash, ref.Packed())
+	}
+}
+
+// deleteLocked appends a tombstone for an existing key.
+func (s *Server) deleteLocked(p *sim.Proc, table, keyHash uint64, key []byte) (uint64, uint64, wire.Status) {
+	waiters := s.logMu.Waiters()
+	s.lockWithSpin(p, s.logMu)
+	cost := s.cfg.Costs.WriteBase +
+		sim.Duration(int64(s.cfg.Costs.WriteContention)*int64(waiters*waiters))
+	s.busy(p, sim.Scale(cost, s.interference()))
+	if s.dead {
+		s.logMu.Unlock()
+		return 0, 0, wire.StatusError
+	}
+	eq := s.keyEq(table, key)
+	packed, ok := s.ht.Lookup(keyHash, eq)
+	if !ok {
+		s.logMu.Unlock()
+		return 0, 0, wire.StatusUnknownKey
+	}
+	oldRef := logstore.UnpackRef(packed)
+	s.nextVersion++
+	tomb := logstore.Entry{
+		Type:          logstore.EntryTombstone,
+		Table:         table,
+		KeyHash:       keyHash,
+		Key:           key,
+		Version:       s.nextVersion,
+		ObjectSegment: oldRef.Segment,
+	}
+	if s.log.NeedsRoll(tomb.StorageSize()) {
+		s.rollLocked(p)
+	}
+	ref, err := s.log.Append(tomb)
+	if err != nil {
+		s.logMu.Unlock()
+		return 0, 0, wire.StatusError
+	}
+	s.indexEntry(tomb, ref)
+	seg := ref.Segment
+	version := tomb.Version
+	s.logMu.Unlock()
+	return version, seg, wire.StatusOK
+}
+
+// rollLocked seals the head segment and opens a new one, closing the old
+// replicas (async) and opening fresh ones (synchronously, so the new head
+// is durable before use). Caller holds logMu.
+func (s *Server) rollLocked(p *sim.Proc) {
+	sealed, head := s.log.Roll()
+	rf := s.cfg.ReplicationFactor
+	if rf <= 0 {
+		return
+	}
+	if sealed != nil {
+		for _, b := range s.replicas[sealed.ID()] {
+			s.ep.AsyncCall(b, &wire.CloseSegmentReq{
+				Master: s.id, Segment: sealed.ID(), SegmentBytes: uint32(sealed.Accounted()),
+			})
+		}
+		s.stats.SegmentsSealed.Inc()
+	}
+	backups := s.chooseBackups(rf)
+	s.replicas[head.ID()] = backups
+	futures := make([]*sim.Future[any], 0, len(backups))
+	for _, b := range backups {
+		s.busy(p, s.cfg.Costs.SendOverhead)
+		futures = append(futures, s.ep.AsyncCall(b, &wire.OpenSegmentReq{Master: s.id, Segment: head.ID()}))
+	}
+	for i, f := range futures {
+		if _, ok := f.GetTimeout(p, s.cfg.ReplicationTimeout); !ok {
+			s.handleBackupFailure(p, backups[i], head.ID())
+		}
+	}
+	// Update the will: the partition layout depends on data volume.
+	s.sendWill()
+}
+
+// chooseBackups picks rf distinct random backups, never self. RAMCloud
+// scatters each segment independently so recovery parallelizes across the
+// whole cluster. If fewer candidates exist than rf, all are used. With
+// FixedBackups the scatter is replaced by ring order (ablation mode).
+func (s *Server) chooseBackups(rf int) []simnet.NodeID {
+	cands := s.aliveBackupCandidates()
+	if s.cfg.FixedBackups {
+		// Rotate so the ring starts just after this server.
+		for i, c := range cands {
+			if c > s.ep.Node() {
+				cands = append(cands[i:], cands[:i]...)
+				break
+			}
+		}
+	} else {
+		rng := s.eng.Rand()
+		rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	}
+	if len(cands) > rf {
+		cands = cands[:rf]
+	}
+	return cands
+}
+
+// replicateObject forwards one appended object to the backups of its
+// segment and waits for every ack — the synchronous path that provides
+// strong consistency and costs Finding 3's throughput.
+func (s *Server) replicateObject(p *sim.Proc, segment uint64, obj wire.Object) {
+	rf := s.cfg.ReplicationFactor
+	if rf <= 0 {
+		return
+	}
+	backups := s.replicas[segment]
+	futures := make([]*sim.Future[any], 0, len(backups))
+	for _, b := range backups {
+		s.busy(p, s.replicationPostCost())
+		futures = append(futures, s.ep.AsyncCall(b, s.replicationMsg(segment, []wire.Object{obj})))
+	}
+	if s.cfg.AsyncReplication {
+		return // relaxed consistency: do not wait for backup acks
+	}
+	for i, f := range futures {
+		if _, ok := f.GetTimeout(p, s.cfg.ReplicationTimeout); !ok {
+			s.handleBackupFailure(p, backups[i], segment)
+		}
+	}
+}
+
+// replicateBatch sends a batch of replayed objects to the given segment's
+// backups and waits for acks.
+func (s *Server) replicateBatch(p *sim.Proc, segment uint64, objs []wire.Object) {
+	rf := s.cfg.ReplicationFactor
+	if rf <= 0 || len(objs) == 0 {
+		return
+	}
+	backups := s.replicas[segment]
+	futures := make([]*sim.Future[any], 0, len(backups))
+	for _, b := range backups {
+		s.busy(p, s.replicationPostCost())
+		futures = append(futures, s.ep.AsyncCall(b, s.replicationMsg(segment, objs)))
+	}
+	if s.cfg.AsyncReplication {
+		return
+	}
+	for i, f := range futures {
+		if _, ok := f.GetTimeout(p, s.cfg.ReplicationTimeout); !ok {
+			s.handleBackupFailure(p, backups[i], segment)
+		}
+	}
+}
+
+// replicationPostCost is the master CPU burned to issue one replication
+// request: a full RPC send, or a cheap one-sided RDMA post (Sec. IX.B).
+func (s *Server) replicationPostCost() sim.Duration {
+	if s.cfg.RDMAReplication {
+		return s.cfg.Costs.RDMAPost
+	}
+	return s.cfg.Costs.SendOverhead
+}
+
+// replicationMsg builds the replication request for the configured mode.
+func (s *Server) replicationMsg(segment uint64, objs []wire.Object) any {
+	if s.cfg.RDMAReplication {
+		return &wire.RDMAWriteReq{Master: s.id, Segment: segment, Objects: objs}
+	}
+	return &wire.ReplicateReq{Master: s.id, Segment: segment, Objects: objs}
+}
+
+// handleBackupFailure replaces a dead backup for the currently open
+// segment: pick a substitute, open a replica there and resend the open
+// segment's content so the replication factor is restored.
+func (s *Server) handleBackupFailure(p *sim.Proc, failed simnet.NodeID, segment uint64) {
+	s.deadPeers[failed] = true
+	s.stats.BackupFailures.Inc()
+	seg, ok := s.log.Segment(segment)
+	if !ok || seg.Sealed() {
+		// Sealed segments keep their surviving replicas; full backup
+		// recovery (re-replicating sealed segments) is out of scope.
+		s.removeReplica(segment, failed)
+		return
+	}
+	cands := s.aliveBackupCandidates()
+	var sub simnet.NodeID = -1
+	current := s.replicas[segment]
+	for _, c := range cands {
+		inUse := false
+		for _, cur := range current {
+			if cur == c {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			sub = c
+			break
+		}
+	}
+	s.removeReplica(segment, failed)
+	if sub < 0 {
+		return // no substitute available; degraded durability
+	}
+	if _, ok := s.ep.CallTimeout(p, sub, &wire.OpenSegmentReq{Master: s.id, Segment: segment}, s.cfg.ReplicationTimeout); !ok {
+		return
+	}
+	// Resend everything appended to the open segment so far.
+	objs := make([]wire.Object, 0, seg.Entries())
+	for i := 0; i < seg.Entries(); i++ {
+		e, err := seg.EntryAt(i)
+		if err != nil {
+			continue
+		}
+		objs = append(objs, entryToObject(e))
+	}
+	if _, ok := s.ep.CallTimeout(p, sub, &wire.ReplicateReq{Master: s.id, Segment: segment, Objects: objs}, s.cfg.ReplicationTimeout); !ok {
+		return
+	}
+	s.replicas[segment] = append(s.replicas[segment], sub)
+}
+
+func (s *Server) removeReplica(segment uint64, backup simnet.NodeID) {
+	cur := s.replicas[segment]
+	out := cur[:0]
+	for _, b := range cur {
+		if b != backup {
+			out = append(out, b)
+		}
+	}
+	s.replicas[segment] = out
+}
+
+func entryToObject(e *logstore.Entry) wire.Object {
+	return wire.Object{
+		Table:     e.Table,
+		KeyHash:   e.KeyHash,
+		Key:       e.Key,
+		ValueLen:  e.ValueLen,
+		Value:     e.Value,
+		Version:   e.Version,
+		Tombstone: e.Type == logstore.EntryTombstone,
+	}
+}
+
+// sendWill pushes an updated recovery will to the coordinator: the owned
+// hash space split into partitions of roughly PartitionBytes of live data.
+func (s *Server) sendWill() {
+	parts := s.computeWill()
+	s.ep.AsyncCall(s.coordinator, &wire.SetWillReq{Master: s.id, Partitions: parts})
+}
+
+// computeWill splits the master's owned ranges into partitions sized so
+// each holds about PartitionBytes of live data — but never fewer than the
+// number of peer servers: RAMCloud scatters recovery "to have as many
+// machines performing the crash-recovery as possible" (paper Sec. II-B).
+func (s *Server) computeWill() []wire.WillPartition {
+	nParts := int(s.log.LiveBytes()/s.cfg.PartitionBytes) + 1
+	if peers := len(s.peers) - 1; nParts < peers {
+		nParts = peers
+	}
+	if nParts > 64 {
+		nParts = 64
+	}
+	return SplitRanges(s.tablets, nParts)
+}
+
+// SplitRanges cuts the union of tablet hash ranges into n partitions of
+// roughly equal hash-space size. Exported for the coordinator and tests.
+func SplitRanges(tablets []wire.Tablet, n int) []wire.WillPartition {
+	if len(tablets) == 0 || n <= 0 {
+		return nil
+	}
+	var total uint64
+	for _, t := range tablets {
+		total += t.EndHash - t.StartHash + 1
+	}
+	if n > len(tablets) {
+		// Split each tablet proportionally to reach ~n partitions.
+		perTablet := (n + len(tablets) - 1) / len(tablets)
+		var out []wire.WillPartition
+		for _, t := range tablets {
+			span := t.EndHash - t.StartHash + 1
+			step := span / uint64(perTablet)
+			if step == 0 {
+				step = 1
+			}
+			start := t.StartHash
+			for i := 0; i < perTablet; i++ {
+				end := start + step - 1
+				if i == perTablet-1 || end > t.EndHash || end < start {
+					end = t.EndHash
+				}
+				out = append(out, wire.WillPartition{FirstHash: start, LastHash: end})
+				if end == t.EndHash {
+					break
+				}
+				start = end + 1
+			}
+		}
+		return out
+	}
+	// n <= tablets: one partition per tablet (coarse but correct).
+	out := make([]wire.WillPartition, 0, len(tablets))
+	for _, t := range tablets {
+		out = append(out, wire.WillPartition{FirstHash: t.StartHash, LastHash: t.EndHash})
+	}
+	return out
+}
+
+// FastLoad inserts a record directly into the master's log, hash table and
+// replica sets without consuming simulated time. It reproduces the state a
+// YCSB load phase would build so experiments can start from a full store.
+// Returns the segments sealed during the load so callers can verify.
+func (s *Server) FastLoad(table uint64, key []byte, valueLen uint32) error {
+	if s.dead {
+		return fmt.Errorf("server %d is dead", s.id)
+	}
+	keyHash := hashtable.HashKey(table, key)
+	s.nextVersion++
+	entry := logstore.Entry{
+		Type:     logstore.EntryObject,
+		Table:    table,
+		KeyHash:  keyHash,
+		Key:      key,
+		ValueLen: valueLen,
+		Version:  s.nextVersion,
+	}
+	if s.log.NeedsRoll(entry.StorageSize()) {
+		sealed, head := s.log.Roll()
+		rf := s.cfg.ReplicationFactor
+		if rf > 0 {
+			if sealed != nil {
+				s.fastSealReplicas(sealed)
+			}
+			backups := s.chooseBackups(rf)
+			s.replicas[head.ID()] = backups
+			for _, b := range backups {
+				s.fastOpenReplica(b, head.ID())
+			}
+		}
+	}
+	ref, err := s.log.Append(entry)
+	if err != nil {
+		return err
+	}
+	s.indexEntry(entry, ref)
+	if s.cfg.ReplicationFactor > 0 {
+		obj := entryToObject(&entry)
+		for _, b := range s.replicas[ref.Segment] {
+			s.fastAppendReplica(b, ref.Segment, obj)
+		}
+	}
+	return nil
+}

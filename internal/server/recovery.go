@@ -1,0 +1,154 @@
+package server
+
+import (
+	"fmt"
+
+	"ramcloud/internal/logstore"
+	"ramcloud/internal/rpc"
+	"ramcloud/internal/sim"
+	"ramcloud/internal/simnet"
+	"ramcloud/internal/wire"
+)
+
+// This file implements the recovery-master role: replaying one partition
+// of a crashed master's log. Segments are fetched from backups (disk read
+// + network transfer) and each object is re-inserted through the normal
+// write path — including re-replication to fresh backups at the configured
+// replication factor. That "replayed data is re-inserted in the same
+// fashion" property is why higher replication factors lengthen recovery
+// (Finding 6).
+
+const recoveryFetchTimeout = 20 * sim.Second
+
+func (s *Server) serveRecover(p *sim.Proc, req rpc.Request, m *wire.RecoverReq) {
+	s.ep.Reply(req, &wire.RecoverResp{Status: wire.StatusOK})
+	s.eng.Go(fmt.Sprintf("srv%d-replay-%x", s.id, m.FirstHash), func(rp *sim.Proc) {
+		s.replayPartition(rp, m)
+	})
+}
+
+func (s *Server) replayPartition(p *sim.Proc, m *wire.RecoverReq) {
+	s.recoveryActive++
+	if s.recoveryActive == 1 && !s.dead {
+		// The replay pipeline (fetch + replay threads) busy-polls for the
+		// whole recovery, like RAMCloud's recovery threads: CPU jumps to
+		// ~92% on the survivors (paper Fig. 9a).
+		s.node.PinCores(2)
+	}
+	defer func() {
+		s.recoveryActive--
+		if s.recoveryActive == 0 && !s.dead {
+			s.node.PinCores(-2)
+		}
+	}()
+
+	ok := true
+	var batch []wire.Object
+	var batchSeg uint64
+
+	flush := func() {
+		if len(batch) > 0 {
+			s.replicateReplaySerial(p, batchSeg, batch)
+			batch = nil
+		}
+	}
+
+	for _, loc := range m.Segments {
+		resp, got := s.ep.CallTimeout(p, simnet.NodeID(loc.Backup), &wire.GetRecoveryDataReq{
+			Master:    m.Crashed,
+			Segment:   loc.Segment,
+			FirstHash: m.FirstHash,
+			LastHash:  m.LastHash,
+		}, recoveryFetchTimeout)
+		if !got {
+			ok = false // backup died mid-recovery; partition incomplete
+			continue
+		}
+		data := resp.(*wire.GetRecoveryDataResp)
+		if data.Status != wire.StatusOK {
+			ok = false
+			continue
+		}
+		for i := range data.Objects {
+			obj := &data.Objects[i]
+			seg, replayed := s.replayObject(p, obj)
+			if !replayed {
+				continue
+			}
+			if seg != batchSeg {
+				flush()
+				batchSeg = seg
+			}
+			batch = append(batch, *obj)
+			if len(batch) >= s.cfg.ReplayBatch {
+				flush()
+			}
+			if s.dead {
+				return
+			}
+		}
+	}
+	flush()
+	s.stats.ReplaysDone.Inc()
+	s.ep.CallTimeout(p, s.coordinator, &wire.RecoveryDoneReq{
+		Crashed:   m.Crashed,
+		FirstHash: m.FirstHash,
+		Ok:        ok,
+	}, 5*sim.Second)
+}
+
+// replayObject re-inserts one recovered object (or tombstone). Versions
+// are preserved; an object older than what the master already holds for
+// that key is skipped. Returns the segment the entry landed in.
+func (s *Server) replayObject(p *sim.Proc, obj *wire.Object) (uint64, bool) {
+	s.busy(p, s.cfg.Costs.ReplayObject)
+	entry := logstore.Entry{
+		Type:     logstore.EntryObject,
+		Table:    obj.Table,
+		KeyHash:  obj.KeyHash,
+		Key:      obj.Key,
+		ValueLen: obj.ValueLen,
+		Value:    obj.Value,
+	}
+	if obj.Tombstone {
+		entry.Type = logstore.EntryTombstone
+		entry.ValueLen = 0
+		entry.Value = nil
+	}
+
+	// Staleness check: replay may deliver older versions after newer ones
+	// when segments interleave; never regress.
+	eq := s.keyEq(obj.Table, obj.Key)
+	if packed, found := s.ht.Lookup(obj.KeyHash, eq); found {
+		if cur, err := s.log.Get(logstore.UnpackRef(packed)); err == nil && cur.Version >= obj.Version {
+			return 0, false
+		}
+	}
+
+	_, seg, appended := s.appendLocked(p, entry, obj.Version, false)
+	if !appended {
+		return 0, false
+	}
+	s.stats.ObjectsReplay.Inc()
+	return seg, true
+}
+
+// replicateReplaySerial re-replicates replayed objects one backup at a
+// time, waiting for each acknowledgement before contacting the next —
+// the paper's description of recovery: "inserting in DRAM, replicating it
+// to backup replicas, waiting for acknowledgement and so on". This serial
+// chain is what makes recovery time grow with the replication factor
+// (Finding 6).
+func (s *Server) replicateReplaySerial(p *sim.Proc, segment uint64, objs []wire.Object) {
+	if s.cfg.ReplicationFactor <= 0 || len(objs) == 0 {
+		return
+	}
+	backups := s.replicas[segment]
+	for _, b := range backups {
+		s.busy(p, s.replicationPostCost())
+		resp, ok := s.ep.CallTimeout(p, b, s.replicationMsg(segment, objs), s.cfg.ReplicationTimeout)
+		if !ok || resp == nil {
+			s.handleBackupFailure(p, b, segment)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock by executing events in (time, sequence)
+// order. Two kinds of activity exist:
+//
+//   - Callback events scheduled with Schedule/ScheduleAt. They run on the
+//     engine goroutine and must never block.
+//   - Processes ("procs") spawned with Go. Each proc runs on its own
+//     goroutine but the engine enforces strict hand-off: exactly one
+//     goroutine (the engine or a single proc) is ever runnable, so the
+//     simulation is deterministic and free of data races by construction.
+//
+// Procs block in simulated time using Sleep and the synchronization
+// primitives in this package (Queue, Mutex, Semaphore, Future, WaitGroup).
+// All wake-ups are funneled through the event queue, so execution order is a
+// pure function of the seed and the program.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulator. The zero value is not
+// usable; construct one with New.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{}
+	rng     *rand.Rand
+	procs   map[*Proc]struct{}
+	stopped bool
+
+	// procPanic carries a panic out of a proc goroutine so it can be
+	// re-raised on the engine goroutine with context.
+	procPanic any
+	panicProc string
+
+	eventsRun uint64
+}
+
+// New returns an engine whose randomness is derived entirely from seed.
+func New(seed int64) *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's seeded random source. It must only be used from
+// engine context (callbacks and procs), never from outside Run.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// EventsRun reports how many events the engine has executed.
+func (e *Engine) EventsRun() uint64 { return e.eventsRun }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Schedule runs fn after d of simulated time. Negative durations are
+// clamped to zero.
+func (e *Engine) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at time t. Times in the past are clamped to now.
+func (e *Engine) ScheduleAt(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, fn: fn})
+}
+
+// Run executes events until the queue is empty or Stop is called. It then
+// kills any procs that are still parked so their goroutines exit.
+func (e *Engine) Run() {
+	e.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil executes events with timestamps <= horizon. The clock is left at
+// min(horizon, time of last event run). Procs still parked when the run
+// finishes remain parked; call Shutdown (or let Run's horizon be maximal) to
+// reap them.
+func (e *Engine) RunUntil(horizon Time) {
+	for !e.stopped && len(e.events) > 0 {
+		if e.events[0].t > horizon {
+			e.now = horizon
+			return
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.t
+		e.eventsRun++
+		ev.fn()
+		if e.procPanic != nil {
+			p, name := e.procPanic, e.panicProc
+			e.procPanic = nil
+			panic(fmt.Sprintf("sim: panic in proc %q at t=%v: %v", name, e.now, p))
+		}
+	}
+}
+
+// Stop halts Run after the current event completes. Pending events are
+// retained but not executed.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Shutdown kills every parked proc so its goroutine exits. It must be called
+// from outside engine context (i.e. not from a callback or proc), typically
+// after Run returns. After Shutdown the engine must not be reused.
+func (e *Engine) Shutdown() {
+	e.stopped = true
+	for p := range e.procs {
+		p.killed = true
+		p.resume <- struct{}{}
+		<-e.yield
+	}
+	e.procPanic = nil
+}
+
+// LiveProcs reports the number of procs that have been spawned and have not
+// yet finished.
+func (e *Engine) LiveProcs() int { return len(e.procs) }
+
+// killSentinel unwinds a killed proc's stack.
+type killSentinel struct{}
+
+// Proc is a simulated process. A Proc's methods must only be called from the
+// proc's own goroutine (i.e. inside the function passed to Go).
+type Proc struct {
+	name   string
+	eng    *Engine
+	resume chan struct{}
+	killed bool
+}
+
+// Name returns the name the proc was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine that owns this proc.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Go spawns a new proc that begins executing fn at the current simulated
+// time (after already-scheduled events at this time).
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{name: name, eng: e, resume: make(chan struct{})}
+	e.procs[p] = struct{}{}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killSentinel); !ok {
+					e.procPanic = r
+					e.panicProc = p.name
+				}
+			}
+			delete(e.procs, p)
+			e.yield <- struct{}{}
+		}()
+		<-p.resume
+		if p.killed {
+			panic(killSentinel{})
+		}
+		fn(p)
+	}()
+	e.ScheduleAt(e.now, func() { e.resumeProc(p) })
+	return p
+}
+
+// resumeProc transfers control to p until it parks or finishes.
+func (e *Engine) resumeProc(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// park yields control back to the engine until the proc is resumed.
+func (p *Proc) park() {
+	e := p.eng
+	e.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
+}
+
+// Sleep suspends the proc for d of simulated time.
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		d = 0
+	}
+	e := p.eng
+	e.Schedule(d, func() { e.resumeProc(p) })
+	p.park()
+}
+
+// Yield reschedules the proc at the current time, letting other events and
+// procs scheduled for this instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }

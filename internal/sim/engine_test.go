@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.Schedule(3*Second, func() { got = append(got, 3) })
+	e.Schedule(1*Second, func() { got = append(got, 1) })
+	e.Schedule(2*Second, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != Time(3*Second) {
+		t.Fatalf("now = %v, want 3s", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestScheduleInPastClamps(t *testing.T) {
+	e := New(1)
+	var ranAt Time
+	e.Schedule(Second, func() {
+		e.ScheduleAt(0, func() { ranAt = e.Now() })
+	})
+	e.Run()
+	if ranAt != Time(Second) {
+		t.Fatalf("past event ran at %v, want clamped to 1s", ranAt)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := New(1)
+	var wake Time
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * Millisecond)
+		wake = p.Now()
+	})
+	e.Run()
+	if wake != Time(5*Millisecond) {
+		t.Fatalf("woke at %v, want 5ms", wake)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d, want 0", e.LiveProcs())
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := New(1)
+	var trace []string
+	for _, n := range []struct {
+		name string
+		d    Duration
+	}{{"a", 10 * Microsecond}, {"b", 5 * Microsecond}, {"c", 7 * Microsecond}} {
+		n := n
+		e.Go(n.name, func(p *Proc) {
+			p.Sleep(n.d)
+			trace = append(trace, n.name)
+		})
+	}
+	e.Run()
+	want := []string{"b", "c", "a"}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := New(1)
+	ran := 0
+	e.Schedule(Second, func() { ran++ })
+	e.Schedule(3*Second, func() { ran++ })
+	e.RunUntil(Time(2 * Second))
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if e.Now() != Time(2*Second) {
+		t.Fatalf("now = %v, want 2s", e.Now())
+	}
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d after full run, want 2", ran)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(1)
+	ran := 0
+	e.Schedule(Second, func() { ran++; e.Stop() })
+	e.Schedule(2*Second, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1 (stopped)", ran)
+	}
+}
+
+func TestShutdownReapsParkedProcs(t *testing.T) {
+	e := New(1)
+	q := NewQueue[int](e)
+	for i := 0; i < 5; i++ {
+		e.Go(fmt.Sprintf("blocked-%d", i), func(p *Proc) {
+			q.Pop(p) // blocks forever
+			t.Error("blocked proc should never resume normally")
+		})
+	}
+	e.Run()
+	if e.LiveProcs() != 5 {
+		t.Fatalf("LiveProcs = %d, want 5 before shutdown", e.LiveProcs())
+	}
+	e.Shutdown()
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d, want 0 after shutdown", e.LiveProcs())
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	e := New(1)
+	e.Go("bomb", func(p *Proc) {
+		p.Sleep(Second)
+		panic("boom")
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate from proc")
+		}
+	}()
+	e.Run()
+}
+
+func TestNestedSpawn(t *testing.T) {
+	e := New(1)
+	var order []string
+	e.Go("parent", func(p *Proc) {
+		order = append(order, "parent-start")
+		e.Go("child", func(c *Proc) {
+			order = append(order, "child")
+		})
+		p.Sleep(Microsecond)
+		order = append(order, "parent-end")
+	})
+	e.Run()
+	want := []string{"parent-start", "child", "parent-end"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestYield(t *testing.T) {
+	e := New(1)
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b")
+	})
+	e.Run()
+	want := []string{"a1", "b", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	runOnce := func(seed int64) []string {
+		e := New(seed)
+		var trace []string
+		q := NewQueue[int](e)
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+				for {
+					v := q.Pop(p)
+					if v < 0 {
+						return
+					}
+					p.Sleep(Duration(e.Rand().Intn(100)) * Microsecond)
+					trace = append(trace, fmt.Sprintf("w%d:%d@%d", i, v, p.Now()))
+				}
+			})
+		}
+		e.Go("producer", func(p *Proc) {
+			for j := 0; j < 50; j++ {
+				q.Push(j)
+				p.Sleep(Duration(e.Rand().Intn(30)) * Microsecond)
+			}
+			for j := 0; j < 4; j++ {
+				q.Push(-1)
+			}
+		})
+		e.Run()
+		e.Shutdown()
+		return trace
+	}
+	a := runOnce(42)
+	b := runOnce(42)
+	if len(a) != len(b) || len(a) != 50 {
+		t.Fatalf("trace lengths differ or wrong: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := runOnce(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical trace; rng not wired in")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := New(1)
+	var ticks []Time
+	tk := NewTicker(e, Second, func(now Time) {
+		ticks = append(ticks, now)
+	})
+	e.Schedule(Duration(3500*Millisecond), func() { tk.Stop() })
+	e.Run()
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %d, want 3", len(ticks))
+	}
+	for i, tt := range ticks {
+		if tt != Time((i+1)*int(Second)) {
+			t.Fatalf("tick %d at %v", i, tt)
+		}
+	}
+}
+
+func TestTimeStrings(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{Duration(2500), "2.50us"},
+		{3 * Millisecond, "3.00ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+	if Time(1500*Millisecond).String() != "1.500000s" {
+		t.Errorf("Time.String = %q", Time(1500*Millisecond).String())
+	}
+}
+
+func TestScaleDuration(t *testing.T) {
+	if Scale(10*Microsecond, 1.5) != 15*Microsecond {
+		t.Fatal("Scale(10us, 1.5) != 15us")
+	}
+	if Scale(Second, 0) != 0 {
+		t.Fatal("Scale by zero must be zero")
+	}
+}

@@ -1,0 +1,279 @@
+package sim
+
+// This file provides blocking synchronization primitives for procs. All of
+// them wake waiters through the event queue, preserving determinism.
+
+// Queue is an unbounded FIFO queue that procs can block on. Pushing may be
+// done from callbacks or procs; popping only from procs.
+//
+// Items are always delivered FIFO; the wakeLIFO option only changes which
+// *waiter* is woken first (most-recently parked), modeling schedulers with
+// hot-thread affinity such as RAMCloud's dispatch, which prefers the worker
+// that finished most recently to keep its cache warm.
+type Queue[T any] struct {
+	eng      *Engine
+	items    []T
+	waiting  []*Proc
+	wakeLIFO bool
+}
+
+// NewQueue returns an empty queue bound to e.
+func NewQueue[T any](e *Engine) *Queue[T] {
+	return &Queue[T]{eng: e}
+}
+
+// NewLIFOWakeQueue returns a queue that wakes the most-recently parked
+// waiter first.
+func NewLIFOWakeQueue[T any](e *Engine) *Queue[T] {
+	return &Queue[T]{eng: e, wakeLIFO: true}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Waiters returns the number of procs blocked in Pop.
+func (q *Queue[T]) Waiters() int { return len(q.waiting) }
+
+// Push appends v and wakes one waiting proc, if any.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	if len(q.waiting) > 0 {
+		var w *Proc
+		if q.wakeLIFO {
+			w = q.waiting[len(q.waiting)-1]
+			q.waiting = q.waiting[:len(q.waiting)-1]
+		} else {
+			w = q.waiting[0]
+			q.waiting = q.waiting[1:]
+		}
+		q.eng.ScheduleAt(q.eng.now, func() { q.eng.resumeProc(w) })
+	}
+}
+
+// TryPop removes and returns the head of the queue without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Pop removes and returns the head of the queue, blocking the proc until an
+// item is available.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for {
+		if v, ok := q.TryPop(); ok {
+			return v
+		}
+		q.waiting = append(q.waiting, p)
+		p.park()
+	}
+}
+
+// Mutex is a FIFO mutual-exclusion lock with direct hand-off: Unlock passes
+// ownership to the longest-waiting proc, so the lock cannot be stolen.
+type Mutex struct {
+	eng     *Engine
+	locked  bool
+	waiting []*Proc
+}
+
+// NewMutex returns an unlocked mutex bound to e.
+func NewMutex(e *Engine) *Mutex { return &Mutex{eng: e} }
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.locked }
+
+// Waiters returns the number of procs blocked in Lock.
+func (m *Mutex) Waiters() int { return len(m.waiting) }
+
+// Lock acquires the mutex, blocking the proc until it is available.
+func (m *Mutex) Lock(p *Proc) {
+	if !m.locked {
+		m.locked = true
+		return
+	}
+	m.waiting = append(m.waiting, p)
+	p.park()
+	// Ownership was handed to us by Unlock; m.locked is still true.
+}
+
+// Unlock releases the mutex, handing it directly to the next waiter if one
+// exists. It may be called from callbacks as well as procs.
+func (m *Mutex) Unlock() {
+	if !m.locked {
+		panic("sim: unlock of unlocked Mutex")
+	}
+	if len(m.waiting) > 0 {
+		w := m.waiting[0]
+		m.waiting = m.waiting[1:]
+		m.eng.ScheduleAt(m.eng.now, func() { m.eng.resumeProc(w) })
+		return
+	}
+	m.locked = false
+}
+
+// Semaphore is a counting semaphore with FIFO hand-off.
+type Semaphore struct {
+	eng     *Engine
+	avail   int
+	waiting []*Proc
+}
+
+// NewSemaphore returns a semaphore with n available permits.
+func NewSemaphore(e *Engine, n int) *Semaphore {
+	if n < 0 {
+		panic("sim: negative semaphore capacity")
+	}
+	return &Semaphore{eng: e, avail: n}
+}
+
+// Available returns the number of free permits.
+func (s *Semaphore) Available() int { return s.avail }
+
+// Waiters returns the number of procs blocked in Acquire.
+func (s *Semaphore) Waiters() int { return len(s.waiting) }
+
+// Acquire takes one permit, blocking until available.
+func (s *Semaphore) Acquire(p *Proc) {
+	if s.avail > 0 {
+		s.avail--
+		return
+	}
+	s.waiting = append(s.waiting, p)
+	p.park()
+	// A released permit was handed directly to us.
+}
+
+// Release returns one permit, handing it to the next waiter if any.
+func (s *Semaphore) Release() {
+	if len(s.waiting) > 0 {
+		w := s.waiting[0]
+		s.waiting = s.waiting[1:]
+		s.eng.ScheduleAt(s.eng.now, func() { s.eng.resumeProc(w) })
+		return
+	}
+	s.avail++
+}
+
+// Future is a write-once value that procs can wait on. It is the basis of
+// RPC replies.
+type Future[T any] struct {
+	eng     *Engine
+	set     bool
+	val     T
+	waiting []*Proc
+}
+
+// NewFuture returns an unset future bound to e.
+func NewFuture[T any](e *Engine) *Future[T] { return &Future[T]{eng: e} }
+
+// IsSet reports whether the future has a value.
+func (f *Future[T]) IsSet() bool { return f.set }
+
+// Set stores the value and wakes all waiters. Setting twice panics: a future
+// is single-assignment by design.
+func (f *Future[T]) Set(v T) {
+	if f.set {
+		panic("sim: Future set twice")
+	}
+	f.set = true
+	f.val = v
+	for _, w := range f.waiting {
+		w := w
+		f.eng.ScheduleAt(f.eng.now, func() { f.eng.resumeProc(w) })
+	}
+	f.waiting = nil
+}
+
+// Get blocks until the future is set and returns its value.
+func (f *Future[T]) Get(p *Proc) T {
+	for !f.set {
+		f.waiting = append(f.waiting, p)
+		p.park()
+	}
+	return f.val
+}
+
+// GetTimeout blocks until the future is set or d elapses. ok is false on
+// timeout.
+func (f *Future[T]) GetTimeout(p *Proc, d Duration) (v T, ok bool) {
+	if f.set {
+		return f.val, true
+	}
+	deadline := f.eng.now.Add(d)
+	fired := false
+	f.eng.ScheduleAt(deadline, func() {
+		if f.set || fired {
+			return
+		}
+		fired = true
+		f.eng.resumeProc(p)
+	})
+	for !f.set {
+		f.waiting = append(f.waiting, p)
+		p.park()
+		if !f.set && f.eng.now >= deadline {
+			// Timed out. Remove ourselves from the wait list so a later Set
+			// does not try to resume a proc that has moved on.
+			f.dropWaiter(p)
+			var zero T
+			return zero, false
+		}
+	}
+	fired = true // suppress the timeout callback if it has not fired yet
+	return f.val, true
+}
+
+func (f *Future[T]) dropWaiter(p *Proc) {
+	for i, w := range f.waiting {
+		if w == p {
+			f.waiting = append(f.waiting[:i], f.waiting[i+1:]...)
+			return
+		}
+	}
+}
+
+// WaitGroup counts outstanding work, like sync.WaitGroup but in simulated
+// time.
+type WaitGroup struct {
+	eng     *Engine
+	count   int
+	waiting []*Proc
+}
+
+// NewWaitGroup returns a WaitGroup bound to e.
+func NewWaitGroup(e *Engine) *WaitGroup { return &WaitGroup{eng: e} }
+
+// Add increments the counter by delta.
+func (wg *WaitGroup) Add(delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.count == 0 {
+		for _, w := range wg.waiting {
+			w := w
+			wg.eng.ScheduleAt(wg.eng.now, func() { wg.eng.resumeProc(w) })
+		}
+		wg.waiting = nil
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Count returns the current counter value.
+func (wg *WaitGroup) Count() int { return wg.count }
+
+// Wait blocks until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.count > 0 {
+		wg.waiting = append(wg.waiting, p)
+		p.park()
+	}
+}

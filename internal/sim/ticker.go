@@ -1,0 +1,39 @@
+package sim
+
+// Ticker invokes a callback at a fixed simulated period until stopped. It is
+// implemented with self-rescheduling callback events, so it adds no proc
+// overhead.
+type Ticker struct {
+	eng     *Engine
+	period  Duration
+	fn      func(now Time)
+	stopped bool
+}
+
+// NewTicker starts a ticker that calls fn every period, with the first tick
+// one period from now. fn runs in engine (callback) context and must not
+// block.
+func NewTicker(e *Engine, period Duration, fn func(now Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.eng.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.eng.now)
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. A tick already dispatched for the current time
+// may still run.
+func (t *Ticker) Stop() { t.stopped = true }

@@ -1,0 +1,57 @@
+package sim
+
+import "fmt"
+
+// Time is a point in simulated time, expressed in nanoseconds since the
+// start of the simulation.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds. It mirrors
+// time.Duration but is a distinct type so that simulated time can never be
+// accidentally mixed with wall-clock time.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+	Minute      Duration = 60 * Second
+)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add returns the time advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros returns the duration as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Scale returns d multiplied by factor f, rounding toward zero.
+func Scale(d Duration, f float64) Duration { return Duration(float64(d) * f) }
+
+// Since returns the duration elapsed from start to now.
+func Since(now Time, start Time) Duration { return Duration(now - start) }
+
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+func (d Duration) String() string {
+	switch {
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.2fus", d.Micros())
+	case d < Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

@@ -1,0 +1,202 @@
+// Package simnet models the cluster fabric: an Infiniband-20G-class network
+// with per-NIC transmit serialization and a fixed propagation delay. The
+// paper uses RAMCloud's Infiniband transport exclusively; the network is
+// deliberately fast enough never to be the primary bottleneck (the authors
+// study network effects in a companion paper), but transfer times matter
+// during crash recovery when whole segments cross the wire.
+package simnet
+
+import (
+	"fmt"
+
+	"ramcloud/internal/metrics"
+	"ramcloud/internal/sim"
+)
+
+// NodeID identifies an endpoint on the fabric.
+type NodeID int
+
+// Message is one datagram. Size is the on-wire size in bytes (computed from
+// the wire encoding of the payload); Payload is delivered by reference to
+// keep the simulator fast.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Size    int
+	Payload any
+}
+
+// Handler receives delivered messages in engine (callback) context. It must
+// not block; typically it pushes into a sim.Queue serviced by a dispatch
+// proc.
+type Handler func(msg Message)
+
+// Config sets fabric characteristics.
+type Config struct {
+	PropagationDelay sim.Duration // one-way latency, switch included
+	Bandwidth        float64      // per-NIC bytes/second
+}
+
+// DefaultConfig models Infiniband-20G (~2.3 GB/s usable, ~2.3 us one-way).
+func DefaultConfig() Config {
+	return Config{
+		PropagationDelay: 2300 * sim.Nanosecond,
+		Bandwidth:        2.3e9,
+	}
+}
+
+type nic struct {
+	txBusyUntil sim.Time
+	txBytes     metrics.Series
+	rxBytes     metrics.Series
+	txBusy      metrics.Series // busy ns per second
+}
+
+// Network is the shared fabric.
+type Network struct {
+	eng *sim.Engine
+	cfg Config
+
+	nics     map[NodeID]*nic
+	handlers map[NodeID]Handler
+	down     map[NodeID]bool
+
+	delivered metrics.Counter
+	dropped   metrics.Counter
+}
+
+// New returns an empty fabric.
+func New(e *sim.Engine, cfg Config) *Network {
+	if cfg.Bandwidth <= 0 {
+		panic("simnet: bandwidth must be positive")
+	}
+	return &Network{
+		eng:      e,
+		cfg:      cfg,
+		nics:     make(map[NodeID]*nic),
+		handlers: make(map[NodeID]Handler),
+		down:     make(map[NodeID]bool),
+	}
+}
+
+// Attach registers a node and its message handler. Attaching the same node
+// twice panics: handlers must not be silently replaced.
+func (n *Network) Attach(id NodeID, h Handler) {
+	if _, ok := n.handlers[id]; ok {
+		panic(fmt.Sprintf("simnet: node %d attached twice", id))
+	}
+	n.nics[id] = &nic{}
+	n.handlers[id] = h
+}
+
+// SetDown marks a node unreachable (crashed). Messages to or from it are
+// dropped silently, like a dead NIC.
+func (n *Network) SetDown(id NodeID, down bool) { n.down[id] = down }
+
+// IsDown reports whether a node is marked unreachable.
+func (n *Network) IsDown(id NodeID) bool { return n.down[id] }
+
+// Send transmits a message. Transmission serializes on the sender's NIC;
+// delivery happens one propagation delay after the last byte leaves.
+func (n *Network) Send(msg Message) {
+	if n.down[msg.From] || n.down[msg.To] {
+		n.dropped.Inc()
+		return
+	}
+	src, ok := n.nics[msg.From]
+	if !ok {
+		panic(fmt.Sprintf("simnet: send from unattached node %d", msg.From))
+	}
+	if _, ok := n.handlers[msg.To]; !ok {
+		panic(fmt.Sprintf("simnet: send to unattached node %d", msg.To))
+	}
+	now := n.eng.Now()
+	start := src.txBusyUntil
+	if start < now {
+		start = now
+	}
+	txDur := sim.Duration(float64(msg.Size) / n.cfg.Bandwidth * float64(sim.Second))
+	end := start.Add(txDur)
+	src.txBusyUntil = end
+	accountSpan(&src.txBusy, start, end)
+	spreadBytes(&src.txBytes, start, end, float64(msg.Size))
+
+	deliverAt := end.Add(n.cfg.PropagationDelay)
+	n.eng.ScheduleAt(deliverAt, func() {
+		if n.down[msg.To] || n.down[msg.From] {
+			n.dropped.Inc()
+			return
+		}
+		dst := n.nics[msg.To]
+		spreadBytes(&dst.rxBytes, deliverAt, deliverAt, float64(msg.Size))
+		n.delivered.Inc()
+		n.handlers[msg.To](msg)
+	})
+}
+
+func accountSpan(s *metrics.Series, from, to sim.Time) {
+	for t := from; t < to; {
+		second := int64(t) / int64(sim.Second)
+		bucketEnd := sim.Time((second + 1) * int64(sim.Second))
+		end := to
+		if bucketEnd < end {
+			end = bucketEnd
+		}
+		s.Add(int(second), float64(end-t))
+		t = end
+	}
+}
+
+func spreadBytes(s *metrics.Series, from, to sim.Time, bytes float64) {
+	span := float64(to - from)
+	if span <= 0 {
+		s.Add(int(int64(from)/int64(sim.Second)), bytes)
+		return
+	}
+	for t := from; t < to; {
+		second := int64(t) / int64(sim.Second)
+		bucketEnd := sim.Time((second + 1) * int64(sim.Second))
+		end := to
+		if bucketEnd < end {
+			end = bucketEnd
+		}
+		s.Add(int(second), bytes*float64(end-t)/span)
+		t = end
+	}
+}
+
+// TxBusyFracSecond returns the fraction of second k node id spent
+// transmitting.
+func (n *Network) TxBusyFracSecond(id NodeID, k int) float64 {
+	nc, ok := n.nics[id]
+	if !ok {
+		return 0
+	}
+	f := nc.txBusy.At(k) / float64(sim.Second)
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// TxBytesSecond returns bytes transmitted by id during second k.
+func (n *Network) TxBytesSecond(id NodeID, k int) float64 {
+	if nc, ok := n.nics[id]; ok {
+		return nc.txBytes.At(k)
+	}
+	return 0
+}
+
+// RxBytesSecond returns bytes received by id during second k.
+func (n *Network) RxBytesSecond(id NodeID, k int) float64 {
+	if nc, ok := n.nics[id]; ok {
+		return nc.rxBytes.At(k)
+	}
+	return 0
+}
+
+// Delivered returns the total number of delivered messages.
+func (n *Network) Delivered() int64 { return n.delivered.Value() }
+
+// Dropped returns the total number of dropped messages.
+func (n *Network) Dropped() int64 { return n.dropped.Value() }

@@ -1,0 +1,165 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"ramcloud/internal/sim"
+)
+
+func netCfg() Config {
+	return Config{PropagationDelay: 5 * sim.Microsecond, Bandwidth: 1e9}
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	e := sim.New(1)
+	n := New(e, netCfg())
+	var at sim.Time
+	var got Message
+	n.Attach(1, func(m Message) {})
+	n.Attach(2, func(m Message) { at = e.Now(); got = m })
+	// 1000 bytes at 1 GB/s = 1us tx + 5us propagation.
+	e.Schedule(0, func() {
+		n.Send(Message{From: 1, To: 2, Size: 1000, Payload: "hello"})
+	})
+	e.Run()
+	if at != sim.Time(6*sim.Microsecond) {
+		t.Fatalf("delivered at %v, want 6us", at)
+	}
+	if got.Payload != "hello" || got.From != 1 {
+		t.Fatalf("message = %+v", got)
+	}
+	if n.Delivered() != 1 {
+		t.Fatalf("delivered = %d", n.Delivered())
+	}
+}
+
+func TestNICTxSerialization(t *testing.T) {
+	e := sim.New(1)
+	n := New(e, netCfg())
+	var times []sim.Time
+	n.Attach(1, func(m Message) {})
+	n.Attach(2, func(m Message) { times = append(times, e.Now()) })
+	e.Schedule(0, func() {
+		n.Send(Message{From: 1, To: 2, Size: 1000}) // tx [0,1us], arrive 6us
+		n.Send(Message{From: 1, To: 2, Size: 1000}) // tx [1us,2us], arrive 7us
+	})
+	e.Run()
+	if len(times) != 2 {
+		t.Fatalf("deliveries = %d", len(times))
+	}
+	if times[0] != sim.Time(6*sim.Microsecond) || times[1] != sim.Time(7*sim.Microsecond) {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestDownNodeDropsMessages(t *testing.T) {
+	e := sim.New(1)
+	n := New(e, netCfg())
+	delivered := 0
+	n.Attach(1, func(m Message) {})
+	n.Attach(2, func(m Message) { delivered++ })
+	n.SetDown(2, true)
+	e.Schedule(0, func() { n.Send(Message{From: 1, To: 2, Size: 10}) })
+	e.Run()
+	if delivered != 0 || n.Dropped() != 1 {
+		t.Fatalf("delivered=%d dropped=%d", delivered, n.Dropped())
+	}
+	if !n.IsDown(2) {
+		t.Fatal("IsDown(2) = false")
+	}
+}
+
+func TestDeathMidFlightDrops(t *testing.T) {
+	e := sim.New(1)
+	n := New(e, netCfg())
+	delivered := 0
+	n.Attach(1, func(m Message) {})
+	n.Attach(2, func(m Message) { delivered++ })
+	e.Schedule(0, func() { n.Send(Message{From: 1, To: 2, Size: 1000}) })
+	// Node dies while the message is in flight (arrives at 6us).
+	e.Schedule(2*sim.Microsecond, func() { n.SetDown(2, true) })
+	e.Run()
+	if delivered != 0 || n.Dropped() != 1 {
+		t.Fatalf("delivered=%d dropped=%d", delivered, n.Dropped())
+	}
+}
+
+func TestSendFromUnattachedPanics(t *testing.T) {
+	e := sim.New(1)
+	n := New(e, netCfg())
+	n.Attach(2, func(m Message) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Send(Message{From: 1, To: 2, Size: 1})
+}
+
+func TestDoubleAttachPanics(t *testing.T) {
+	e := sim.New(1)
+	n := New(e, netCfg())
+	n.Attach(1, func(m Message) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Attach(1, func(m Message) {})
+}
+
+func TestByteAccounting(t *testing.T) {
+	e := sim.New(1)
+	n := New(e, netCfg())
+	n.Attach(1, func(m Message) {})
+	n.Attach(2, func(m Message) {})
+	e.Schedule(0, func() { n.Send(Message{From: 1, To: 2, Size: 500e6}) }) // 0.5s tx
+	e.Run()
+	if math.Abs(n.TxBytesSecond(1, 0)-500e6) > 1 {
+		t.Fatalf("tx bytes = %v", n.TxBytesSecond(1, 0))
+	}
+	if math.Abs(n.RxBytesSecond(2, 0)-500e6) > 1 {
+		t.Fatalf("rx bytes = %v", n.RxBytesSecond(2, 0))
+	}
+	if f := n.TxBusyFracSecond(1, 0); math.Abs(f-0.5) > 1e-9 {
+		t.Fatalf("tx busy frac = %v", f)
+	}
+	if n.TxBusyFracSecond(99, 0) != 0 {
+		t.Fatal("unknown node busy frac should be 0")
+	}
+}
+
+func TestRoundTripThroughQueues(t *testing.T) {
+	// Simulates the standard usage pattern: handler pushes into a queue, a
+	// proc services it and replies.
+	e := sim.New(1)
+	n := New(e, netCfg())
+	serverQ := sim.NewQueue[Message](e)
+	reply := sim.NewFuture[string](e)
+	n.Attach(1, func(m Message) { reply.Set(m.Payload.(string)) })
+	n.Attach(2, func(m Message) { serverQ.Push(m) })
+	e.Go("server", func(p *sim.Proc) {
+		m := serverQ.Pop(p)
+		p.Sleep(2 * sim.Microsecond) // service time
+		n.Send(Message{From: 2, To: 1, Size: 100, Payload: "re:" + m.Payload.(string)})
+	})
+	var got string
+	var rtt sim.Duration
+	e.Go("client", func(p *sim.Proc) {
+		start := p.Now()
+		n.Send(Message{From: 1, To: 2, Size: 100, Payload: "ping"})
+		got = reply.Get(p)
+		rtt = p.Now().Sub(start)
+	})
+	e.Run()
+	e.Shutdown()
+	if got != "re:ping" {
+		t.Fatalf("got %q", got)
+	}
+	// 2x (0.1us tx + 5us prop) + 2us service = 12.2us
+	want := sim.Duration(12200)
+	if rtt != want {
+		t.Fatalf("rtt = %v, want %v", rtt, want)
+	}
+}

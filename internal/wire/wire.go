@@ -1,0 +1,462 @@
+// Package wire defines the RPC message vocabulary of the storage system and
+// a compact binary codec for it. The simulated fabric passes message structs
+// by reference for speed, but every message has an exact on-wire size
+// (computed by Size) that drives network transfer timing, and Marshal /
+// Unmarshal implement the real encoding for fidelity tests and external
+// tooling.
+//
+// Values may be "virtual": a message can declare ValueLen without carrying
+// the bytes (Value == nil). Size always accounts the declared length, which
+// lets large experiments run without materializing gigabytes of payload
+// while keeping transfer times faithful.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Op identifies a message type on the wire.
+type Op uint8
+
+// Message opcodes. Start at one so an accidental zero is caught.
+const (
+	OpReadReq Op = iota + 1
+	OpReadResp
+	OpWriteReq
+	OpWriteResp
+	OpDeleteReq
+	OpDeleteResp
+	OpCreateTableReq
+	OpCreateTableResp
+	OpDropTableReq
+	OpDropTableResp
+	OpGetTabletMapReq
+	OpGetTabletMapResp
+	OpEnlistReq
+	OpEnlistResp
+	OpPingReq
+	OpPingResp
+	OpSetWillReq
+	OpSetWillResp
+	OpOpenSegmentReq
+	OpOpenSegmentResp
+	OpReplicateReq
+	OpReplicateResp
+	OpCloseSegmentReq
+	OpCloseSegmentResp
+	OpFreeReplicasReq
+	OpFreeReplicasResp
+	OpSegmentInventoryReq
+	OpSegmentInventoryResp
+	OpGetRecoveryDataReq
+	OpGetRecoveryDataResp
+	OpRecoverReq
+	OpRecoverResp
+	OpRecoveryDoneReq
+	OpRecoveryDoneResp
+	OpRDMAWriteReq
+	OpRDMAWriteResp
+)
+
+// Status is the result code carried by every response.
+type Status uint8
+
+// Response status codes.
+const (
+	StatusOK Status = iota + 1
+	StatusUnknownTable
+	StatusUnknownKey
+	StatusWrongServer
+	StatusRecovering
+	StatusRetry
+	StatusError
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusUnknownTable:
+		return "UNKNOWN_TABLE"
+	case StatusUnknownKey:
+		return "UNKNOWN_KEY"
+	case StatusWrongServer:
+		return "WRONG_SERVER"
+	case StatusRecovering:
+		return "RECOVERING"
+	case StatusRetry:
+		return "RETRY"
+	case StatusError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// headerSize covers op (1), rpc id (8) and total length (4).
+const headerSize = 1 + 8 + 4
+
+// Object is one log record crossing the wire (replication, recovery).
+type Object struct {
+	Table     uint64
+	KeyHash   uint64
+	Key       []byte
+	ValueLen  uint32
+	Value     []byte // nil when the payload is virtual
+	Version   uint64
+	Tombstone bool
+}
+
+// Tablet describes one key-hash range of a table and its owning master.
+type Tablet struct {
+	Table      uint64
+	StartHash  uint64
+	EndHash    uint64 // inclusive
+	Master     int32
+	Recovering bool
+}
+
+// SegmentInfo identifies a sealed replica held by a backup.
+type SegmentInfo struct {
+	Segment uint64
+	Bytes   uint32
+}
+
+// SegmentLoc tells a recovery master where to fetch a segment from.
+type SegmentLoc struct {
+	Segment uint64
+	Backup  int32
+	Bytes   uint32
+}
+
+// WillPartition is one key-hash range in a master's recovery will.
+type WillPartition struct {
+	FirstHash uint64
+	LastHash  uint64
+}
+
+// Client data plane --------------------------------------------------------
+
+// ReadReq fetches one object.
+type ReadReq struct {
+	Table uint64
+	Key   []byte
+}
+
+// ReadResp returns one object's value.
+type ReadResp struct {
+	Status   Status
+	Version  uint64
+	ValueLen uint32
+	Value    []byte
+}
+
+// WriteReq inserts or overwrites one object.
+type WriteReq struct {
+	Table    uint64
+	Key      []byte
+	ValueLen uint32
+	Value    []byte
+}
+
+// WriteResp acknowledges a durable write.
+type WriteResp struct {
+	Status  Status
+	Version uint64
+}
+
+// DeleteReq removes one object.
+type DeleteReq struct {
+	Table uint64
+	Key   []byte
+}
+
+// DeleteResp acknowledges a delete.
+type DeleteResp struct {
+	Status  Status
+	Version uint64
+}
+
+// Coordinator control plane ------------------------------------------------
+
+// CreateTableReq creates a table spanning ServerSpan masters (the paper sets
+// ServerSpan equal to the cluster size for uniform distribution).
+type CreateTableReq struct {
+	Name       string
+	ServerSpan uint32
+}
+
+// CreateTableResp returns the new table's id.
+type CreateTableResp struct {
+	Status Status
+	Table  uint64
+}
+
+// DropTableReq removes a table by name.
+type DropTableReq struct {
+	Name string
+}
+
+// DropTableResp acknowledges a drop.
+type DropTableResp struct {
+	Status Status
+}
+
+// GetTabletMapReq fetches the current tablet configuration.
+type GetTabletMapReq struct{}
+
+// GetTabletMapResp carries the full tablet map.
+type GetTabletMapResp struct {
+	Status  Status
+	Tablets []Tablet
+}
+
+// EnlistReq registers a server with the coordinator.
+type EnlistReq struct {
+	Node        int32
+	MemoryBytes int64
+	HasBackup   bool
+}
+
+// EnlistResp returns the server's cluster id.
+type EnlistResp struct {
+	Status   Status
+	ServerID int32
+}
+
+// PingReq is the failure-detector probe.
+type PingReq struct {
+	Seq uint64
+}
+
+// PingResp answers a probe.
+type PingResp struct {
+	Seq uint64
+}
+
+// SetWillReq updates a master's recovery will.
+type SetWillReq struct {
+	Master     int32
+	Partitions []WillPartition
+}
+
+// SetWillResp acknowledges a will update.
+type SetWillResp struct {
+	Status Status
+}
+
+// Replication plane ---------------------------------------------------------
+
+// OpenSegmentReq opens a replica for a new head segment.
+type OpenSegmentReq struct {
+	Master  int32
+	Segment uint64
+}
+
+// OpenSegmentResp acknowledges the open.
+type OpenSegmentResp struct {
+	Status Status
+}
+
+// ReplicateReq appends objects to an open replica.
+type ReplicateReq struct {
+	Master  int32
+	Segment uint64
+	Objects []Object
+}
+
+// ReplicateResp acknowledges a durable (in-DRAM) replica append.
+type ReplicateResp struct {
+	Status Status
+}
+
+// CloseSegmentReq seals a replica; the backup then flushes it to disk.
+type CloseSegmentReq struct {
+	Master       int32
+	Segment      uint64
+	SegmentBytes uint32
+}
+
+// CloseSegmentResp acknowledges the close.
+type CloseSegmentResp struct {
+	Status Status
+}
+
+// FreeReplicasReq discards all replicas belonging to a master (after its
+// data has been re-replicated post-recovery).
+type FreeReplicasReq struct {
+	Master int32
+}
+
+// FreeReplicasResp acknowledges the free.
+type FreeReplicasResp struct {
+	Status Status
+}
+
+// RDMAWriteReq models the paper's Section IX.B proposal: replicate with
+// one-sided RDMA writes that deposit objects directly into the backup's
+// open replica buffer, bypassing its dispatch and worker threads
+// entirely. The ack is NIC-level.
+type RDMAWriteReq struct {
+	Master  int32
+	Segment uint64
+	Objects []Object
+}
+
+// RDMAWriteResp is the NIC-level completion.
+type RDMAWriteResp struct {
+	Status Status
+}
+
+// Recovery plane -------------------------------------------------------------
+
+// SegmentInventoryReq asks a backup which replicas it holds for a master.
+type SegmentInventoryReq struct {
+	Master int32
+}
+
+// SegmentInventoryResp lists replicas held.
+type SegmentInventoryResp struct {
+	Status   Status
+	Segments []SegmentInfo
+}
+
+// GetRecoveryDataReq fetches a crashed master's segment, filtered to a
+// key-hash partition.
+type GetRecoveryDataReq struct {
+	Master    int32
+	Segment   uint64
+	FirstHash uint64
+	LastHash  uint64
+}
+
+// GetRecoveryDataResp returns the filtered objects. SegmentBytes is the full
+// replica size read from disk (the disk does not filter).
+type GetRecoveryDataResp struct {
+	Status       Status
+	SegmentBytes uint32
+	Objects      []Object
+}
+
+// RecoverReq instructs a recovery master to replay one partition of a
+// crashed master.
+type RecoverReq struct {
+	Crashed   int32
+	FirstHash uint64
+	LastHash  uint64
+	Tablets   []Tablet
+	Segments  []SegmentLoc
+}
+
+// RecoverResp acknowledges that recovery started.
+type RecoverResp struct {
+	Status Status
+}
+
+// RecoveryDoneReq reports a finished partition replay to the coordinator.
+type RecoveryDoneReq struct {
+	Crashed   int32
+	FirstHash uint64
+	Ok        bool
+}
+
+// RecoveryDoneResp acknowledges completion.
+type RecoveryDoneResp struct {
+	Status Status
+}
+
+// Codec ----------------------------------------------------------------------
+
+// ErrTruncated reports a message shorter than its encoding requires.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrUnknownOp reports an unrecognized opcode.
+var ErrUnknownOp = errors.New("wire: unknown opcode")
+
+// ErrVirtualValue reports an attempt to marshal a message whose declared
+// value length disagrees with the bytes it carries.
+var ErrVirtualValue = errors.New("wire: cannot marshal virtual value")
+
+type encoder struct{ b []byte }
+
+func (e *encoder) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *encoder) b1(v bool)    { e.u8(boolByte(v)) }
+func (e *encoder) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *encoder) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *encoder) i32(v int32)  { e.u32(uint32(v)) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+func (e *encoder) bytes(v []byte) {
+	e.u32(uint32(len(v)))
+	e.b = append(e.b, v...)
+}
+func (e *encoder) str(v string) { e.bytes([]byte(v)) }
+
+func boolByte(v bool) uint8 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) b1() bool { return d.u8() != 0 }
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i32() int32 { return int32(d.u32()) }
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func (d *decoder) bytes() []byte {
+	n := d.u32()
+	if d.err != nil || d.off+int(n) > len(d.b) {
+		d.fail()
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, d.b[d.off:])
+	d.off += int(n)
+	return v
+}
+
+func (d *decoder) str() string { return string(d.bytes()) }

@@ -1,0 +1,256 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// allMessages returns one representative of every message type with
+// non-trivial field values.
+func allMessages() []any {
+	obj := Object{Table: 3, KeyHash: 0xdeadbeef, Key: []byte("user42"),
+		ValueLen: 5, Value: []byte("hello"), Version: 9, Tombstone: false}
+	tomb := Object{Table: 3, KeyHash: 1, Key: []byte("k"), Version: 2, Tombstone: true}
+	tab := Tablet{Table: 1, StartHash: 0, EndHash: ^uint64(0), Master: 4, Recovering: true}
+	return []any{
+		&ReadReq{Table: 1, Key: []byte("user1")},
+		&ReadResp{Status: StatusOK, Version: 3, ValueLen: 4, Value: []byte("data")},
+		&WriteReq{Table: 2, Key: []byte("k"), ValueLen: 3, Value: []byte("abc")},
+		&WriteResp{Status: StatusOK, Version: 11},
+		&DeleteReq{Table: 1, Key: []byte("gone")},
+		&DeleteResp{Status: StatusUnknownKey, Version: 0},
+		&CreateTableReq{Name: "usertable", ServerSpan: 10},
+		&CreateTableResp{Status: StatusOK, Table: 7},
+		&DropTableReq{Name: "usertable"},
+		&DropTableResp{Status: StatusOK},
+		&GetTabletMapReq{},
+		&GetTabletMapResp{Status: StatusOK, Tablets: []Tablet{tab, {Table: 2, Master: 1}}},
+		&EnlistReq{Node: 5, MemoryBytes: 10 << 30, HasBackup: true},
+		&EnlistResp{Status: StatusOK, ServerID: 5},
+		&PingReq{Seq: 99},
+		&PingResp{Seq: 99},
+		&SetWillReq{Master: 2, Partitions: []WillPartition{{0, 100}, {101, 200}}},
+		&SetWillResp{Status: StatusOK},
+		&OpenSegmentReq{Master: 1, Segment: 42},
+		&OpenSegmentResp{Status: StatusOK},
+		&ReplicateReq{Master: 1, Segment: 42, Objects: []Object{obj, tomb}},
+		&ReplicateResp{Status: StatusOK},
+		&CloseSegmentReq{Master: 1, Segment: 42, SegmentBytes: 8 << 20},
+		&CloseSegmentResp{Status: StatusOK},
+		&FreeReplicasReq{Master: 3},
+		&FreeReplicasResp{Status: StatusOK},
+		&SegmentInventoryReq{Master: 3},
+		&SegmentInventoryResp{Status: StatusOK, Segments: []SegmentInfo{{1, 100}, {2, 200}}},
+		&GetRecoveryDataReq{Master: 3, Segment: 2, FirstHash: 10, LastHash: 20},
+		&GetRecoveryDataResp{Status: StatusOK, SegmentBytes: 8 << 20, Objects: []Object{obj}},
+		&RecoverReq{Crashed: 3, FirstHash: 0, LastHash: 99, Tablets: []Tablet{tab},
+			Segments: []SegmentLoc{{Segment: 1, Backup: 2, Bytes: 100}}},
+		&RecoverResp{Status: StatusOK},
+		&RecoveryDoneReq{Crashed: 3, FirstHash: 0, Ok: true},
+		&RecoveryDoneResp{Status: StatusOK},
+		&RDMAWriteReq{Master: 1, Segment: 5, Objects: []Object{obj}},
+		&RDMAWriteResp{Status: StatusOK},
+	}
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	for _, msg := range allMessages() {
+		msg := msg
+		t.Run(fmt.Sprintf("%T", msg), func(t *testing.T) {
+			env := Envelope{RPCID: 12345, Msg: msg}
+			b, err := Marshal(env)
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			got, err := Unmarshal(b)
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if got.RPCID != 12345 {
+				t.Fatalf("rpc id = %d", got.RPCID)
+			}
+			if !reflect.DeepEqual(normalize(got.Msg), normalize(msg)) {
+				t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got.Msg, msg)
+			}
+		})
+	}
+}
+
+// normalize maps nil and empty slices to a canonical form for comparison.
+func normalize(msg any) string {
+	return strings.ReplaceAll(fmt.Sprintf("%#v", msg), "[]uint8{}", "[]uint8(nil)")
+}
+
+func TestSizeMatchesMarshal(t *testing.T) {
+	for _, msg := range allMessages() {
+		env := Envelope{RPCID: 1, Msg: msg}
+		b, err := Marshal(env)
+		if err != nil {
+			t.Fatalf("%T: %v", msg, err)
+		}
+		if got, want := Size(env), len(b); got != want {
+			t.Errorf("%T: Size = %d, Marshal produced %d bytes", msg, got, want)
+		}
+	}
+}
+
+func TestOpOfCoversAllMessages(t *testing.T) {
+	seen := map[Op]bool{}
+	for _, msg := range allMessages() {
+		op := OpOf(msg)
+		if op == 0 {
+			t.Fatalf("OpOf(%T) = 0", msg)
+		}
+		if seen[op] {
+			t.Fatalf("duplicate op %d for %T", op, msg)
+		}
+		seen[op] = true
+	}
+	if OpOf("not a message") != 0 {
+		t.Fatal("OpOf on junk should be 0")
+	}
+}
+
+func TestVirtualValueSizeCounted(t *testing.T) {
+	real := Envelope{Msg: &WriteReq{Table: 1, Key: []byte("k"), ValueLen: 1024, Value: make([]byte, 1024)}}
+	virtual := Envelope{Msg: &WriteReq{Table: 1, Key: []byte("k"), ValueLen: 1024, Value: nil}}
+	if Size(real) != Size(virtual) {
+		t.Fatalf("virtual size %d != real size %d", Size(virtual), Size(real))
+	}
+}
+
+func TestVirtualValueMarshalFails(t *testing.T) {
+	_, err := Marshal(Envelope{Msg: &WriteReq{Table: 1, Key: []byte("k"), ValueLen: 10}})
+	if !errors.Is(err, ErrVirtualValue) {
+		t.Fatalf("err = %v, want ErrVirtualValue", err)
+	}
+	_, err = Marshal(Envelope{Msg: &ReplicateReq{Objects: []Object{{ValueLen: 5}}}})
+	if !errors.Is(err, ErrVirtualValue) {
+		t.Fatalf("err = %v, want ErrVirtualValue", err)
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	b, err := Marshal(Envelope{RPCID: 7, Msg: &WriteReq{Table: 1, Key: []byte("key"), ValueLen: 3, Value: []byte("abc")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := Unmarshal(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d not detected", cut, len(b))
+		}
+	}
+}
+
+func TestUnmarshalUnknownOp(t *testing.T) {
+	b := []byte{255, 0, 0, 0, 0, 0, 0, 0, 0, 13, 0, 0, 0}
+	if _, err := Unmarshal(b); !errors.Is(err, ErrUnknownOp) {
+		t.Fatalf("err = %v, want ErrUnknownOp", err)
+	}
+}
+
+func TestUnmarshalLengthMismatch(t *testing.T) {
+	b, _ := Marshal(Envelope{Msg: &PingReq{Seq: 1}})
+	b = append(b, 0) // extra trailing byte
+	if _, err := Unmarshal(b); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+}
+
+func TestMarshalUnknownType(t *testing.T) {
+	if _, err := Marshal(Envelope{Msg: 42}); !errors.Is(err, ErrUnknownOp) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for s := StatusOK; s <= StatusError; s++ {
+		if strings.HasPrefix(s.String(), "Status(") {
+			t.Errorf("status %d has no name", s)
+		}
+	}
+	if Status(200).String() != "Status(200)" {
+		t.Fatalf("unknown status = %q", Status(200).String())
+	}
+}
+
+func TestQuickWriteReqRoundTrip(t *testing.T) {
+	f := func(table uint64, key []byte, value []byte, rpc uint64) bool {
+		env := Envelope{RPCID: rpc, Msg: &WriteReq{
+			Table: table, Key: key, ValueLen: uint32(len(value)), Value: value}}
+		b, err := Marshal(env)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(b)
+		if err != nil || got.RPCID != rpc {
+			return false
+		}
+		m := got.Msg.(*WriteReq)
+		return m.Table == table && bytes.Equal(m.Key, key) && bytes.Equal(m.Value, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReplicateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 100; iter++ {
+		var objs []Object
+		for i := 0; i < rng.Intn(5); i++ {
+			val := make([]byte, rng.Intn(64))
+			rng.Read(val)
+			key := make([]byte, 1+rng.Intn(16))
+			rng.Read(key)
+			objs = append(objs, Object{
+				Table:     rng.Uint64(),
+				KeyHash:   rng.Uint64(),
+				Key:       key,
+				ValueLen:  uint32(len(val)),
+				Value:     val,
+				Version:   rng.Uint64(),
+				Tombstone: rng.Intn(2) == 0,
+			})
+		}
+		env := Envelope{RPCID: rng.Uint64(), Msg: &ReplicateReq{Master: 1, Segment: 2, Objects: objs}}
+		b, err := Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := got.Msg.(*ReplicateReq)
+		if len(m.Objects) != len(objs) {
+			t.Fatalf("objects = %d, want %d", len(m.Objects), len(objs))
+		}
+		for i := range objs {
+			a, b := objs[i], m.Objects[i]
+			if a.Table != b.Table || a.KeyHash != b.KeyHash || !bytes.Equal(a.Key, b.Key) ||
+				!bytes.Equal(a.Value, b.Value) || a.Version != b.Version || a.Tombstone != b.Tombstone {
+				t.Fatalf("object %d mismatch: %+v vs %+v", i, a, b)
+			}
+		}
+	}
+}
+
+func TestHeaderLayout(t *testing.T) {
+	b, err := Marshal(Envelope{RPCID: 0x1122334455667788, Msg: &PingReq{Seq: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Op(b[0]) != OpPingReq {
+		t.Fatalf("op byte = %d", b[0])
+	}
+	if b[1] != 0x88 || b[8] != 0x11 {
+		t.Fatal("rpc id not little-endian in header")
+	}
+}

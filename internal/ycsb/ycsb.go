@@ -1,0 +1,238 @@
+// Package ycsb reimplements the Yahoo! Cloud Serving Benchmark workload
+// model used by the paper: core workloads A (update-heavy, 50/50),
+// B (read-heavy, 95/5) and C (read-only), uniform and zipfian request
+// distributions, fixed-size records, closed-loop clients and optional
+// client-side request throttling (the paper's Fig. 13 mitigation).
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ramcloud/internal/client"
+	"ramcloud/internal/sim"
+)
+
+// OpKind is a workload operation type.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpUpdate
+	OpInsert
+)
+
+// Distribution selects keys.
+type Distribution uint8
+
+// Key distributions. The paper uses Uniform throughout.
+const (
+	Uniform Distribution = iota + 1
+	Zipfian
+)
+
+// Workload is a YCSB workload specification.
+type Workload struct {
+	Name        string
+	ReadProp    float64
+	UpdateProp  float64
+	RecordCount int
+	RecordSize  int // value bytes per record (paper: 1 KB)
+	Dist        Distribution
+}
+
+// WorkloadA is YCSB core workload A: update-heavy, 50% reads / 50% updates.
+func WorkloadA(records, size int) Workload {
+	return Workload{Name: "A", ReadProp: 0.5, UpdateProp: 0.5,
+		RecordCount: records, RecordSize: size, Dist: Uniform}
+}
+
+// WorkloadB is YCSB core workload B: read-heavy, 95% reads / 5% updates.
+func WorkloadB(records, size int) Workload {
+	return Workload{Name: "B", ReadProp: 0.95, UpdateProp: 0.05,
+		RecordCount: records, RecordSize: size, Dist: Uniform}
+}
+
+// WorkloadC is YCSB core workload C: read-only.
+func WorkloadC(records, size int) Workload {
+	return Workload{Name: "C", ReadProp: 1.0, UpdateProp: 0.0,
+		RecordCount: records, RecordSize: size, Dist: Uniform}
+}
+
+// ByName returns a core workload by letter.
+func ByName(name string, records, size int) (Workload, error) {
+	switch name {
+	case "a", "A":
+		return WorkloadA(records, size), nil
+	case "b", "B":
+		return WorkloadB(records, size), nil
+	case "c", "C":
+		return WorkloadC(records, size), nil
+	default:
+		return Workload{}, fmt.Errorf("ycsb: unknown workload %q", name)
+	}
+}
+
+// Key renders the YCSB-style key for a record index.
+func Key(i int) []byte {
+	return []byte(fmt.Sprintf("user%010d", i))
+}
+
+// chooser picks record indices.
+type chooser interface {
+	next(rng *rand.Rand) int
+}
+
+type uniformChooser struct{ n int }
+
+func (u uniformChooser) next(rng *rand.Rand) int { return rng.Intn(u.n) }
+
+// zipfChooser implements the scrambled zipfian generator from the YCSB
+// paper (Gray et al. method), spreading popular items across the space.
+type zipfChooser struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+func newZipfChooser(n int, theta float64) *zipfChooser {
+	z := &zipfChooser{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfChooser) next(rng *rand.Rand) int {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	rank := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	// FNV-style scramble so popularity is spread over the key space.
+	h := uint64(rank) * 0x9E3779B97F4A7C15
+	return int(h % uint64(z.n))
+}
+
+func (w Workload) chooser() chooser {
+	switch w.Dist {
+	case Zipfian:
+		return newZipfChooser(w.RecordCount, 0.99)
+	default:
+		return uniformChooser{n: w.RecordCount}
+	}
+}
+
+// NextOp draws the next operation kind from the workload mix.
+func (w Workload) NextOp(rng *rand.Rand) OpKind {
+	r := rng.Float64()
+	if r < w.ReadProp {
+		return OpRead
+	}
+	return OpUpdate
+}
+
+// Throttle paces a closed-loop client to a target request rate (the
+// paper's client-side throttling mitigation, Fig. 13).
+type Throttle struct {
+	interval sim.Duration
+	next     sim.Time
+}
+
+// NewThrottle returns a pacer for the given ops/second; nil if rate <= 0.
+func NewThrottle(rate float64) *Throttle {
+	if rate <= 0 {
+		return nil
+	}
+	return &Throttle{interval: sim.Duration(float64(sim.Second) / rate)}
+}
+
+// Wait blocks until the next send slot.
+func (t *Throttle) Wait(p *sim.Proc) {
+	if t == nil {
+		return
+	}
+	now := p.Now()
+	if t.next < now {
+		t.next = now
+	}
+	if d := t.next.Sub(now); d > 0 {
+		p.Sleep(d)
+	}
+	t.next = t.next.Add(t.interval)
+}
+
+// RunOptions configures one client run.
+type RunOptions struct {
+	Table    uint64
+	Requests int
+	Rate     float64 // client-side throttle in ops/s; 0 = unthrottled
+	Seed     int64
+}
+
+// RunResult summarizes one client's run.
+type RunResult struct {
+	Reads    int
+	Updates  int
+	Errors   int
+	Duration sim.Duration
+}
+
+// RunClient executes the workload's closed loop on one client: each
+// iteration draws an op and a key, issues it, and waits for completion.
+// Latency and throughput land in the client's Stats.
+func RunClient(p *sim.Proc, c *client.Client, w Workload, opts RunOptions) RunResult {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	ch := w.chooser()
+	th := NewThrottle(opts.Rate)
+	var res RunResult
+	start := p.Now()
+	for i := 0; i < opts.Requests; i++ {
+		th.Wait(p)
+		key := Key(ch.next(rng))
+		switch w.NextOp(rng) {
+		case OpRead:
+			if _, _, err := c.Read(p, opts.Table, key); err != nil {
+				res.Errors++
+			}
+			res.Reads++
+		default:
+			if err := c.Write(p, opts.Table, key, uint32(w.RecordSize), nil); err != nil {
+				res.Errors++
+			}
+			res.Updates++
+		}
+	}
+	res.Duration = p.Now().Sub(start)
+	return res
+}
+
+// Load fills the table through the client API (the YCSB load phase). Most
+// experiments use the cluster's zero-time bulk loader instead.
+func Load(p *sim.Proc, c *client.Client, w Workload, table uint64) error {
+	for i := 0; i < w.RecordCount; i++ {
+		if err := c.Write(p, table, Key(i), uint32(w.RecordSize), nil); err != nil {
+			return fmt.Errorf("ycsb: load record %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ramcloud/internal/sim"
+)
+
+func TestCoreWorkloadMixes(t *testing.T) {
+	cases := []struct {
+		w          Workload
+		wantName   string
+		wantUpdate float64
+	}{
+		{WorkloadA(10, 1024), "A", 0.5},
+		{WorkloadB(10, 1024), "B", 0.05},
+		{WorkloadC(10, 1024), "C", 0.0},
+	}
+	for _, c := range cases {
+		if c.w.Name != c.wantName {
+			t.Errorf("name = %s", c.w.Name)
+		}
+		if math.Abs(c.w.UpdateProp-c.wantUpdate) > 1e-9 {
+			t.Errorf("%s update prop = %v", c.w.Name, c.w.UpdateProp)
+		}
+		if math.Abs(c.w.ReadProp+c.w.UpdateProp-1.0) > 1e-9 {
+			t.Errorf("%s props do not sum to 1", c.w.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"a", "A", "b", "B", "c", "C"} {
+		if _, err := ByName(name, 10, 10); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("z", 10, 10); err == nil {
+		t.Error("ByName(z) should fail")
+	}
+}
+
+func TestOpMixFrequencies(t *testing.T) {
+	w := WorkloadA(100, 1024)
+	rng := rand.New(rand.NewSource(1))
+	updates := 0
+	n := 100_000
+	for i := 0; i < n; i++ {
+		if w.NextOp(rng) == OpUpdate {
+			updates++
+		}
+	}
+	frac := float64(updates) / float64(n)
+	if frac < 0.48 || frac > 0.52 {
+		t.Fatalf("update fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	if string(Key(42)) != "user0000000042" {
+		t.Fatalf("key = %q", Key(42))
+	}
+	if string(Key(0)) != "user0000000000" {
+		t.Fatalf("key = %q", Key(0))
+	}
+}
+
+func TestUniformChooserBounds(t *testing.T) {
+	w := WorkloadC(1000, 1024)
+	ch := w.chooser()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10_000; i++ {
+		v := ch.next(rng)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfianChooserBoundsAndSkew(t *testing.T) {
+	w := Workload{RecordCount: 10_000, Dist: Zipfian}
+	ch := w.chooser()
+	rng := rand.New(rand.NewSource(3))
+	counts := map[int]int{}
+	n := 200_000
+	for i := 0; i < n; i++ {
+		v := ch.next(rng)
+		if v < 0 || v >= 10_000 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Skew: the most popular key should be far above uniform expectation.
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	uniform := n / 10_000
+	if maxCount < uniform*20 {
+		t.Fatalf("zipfian not skewed: hottest=%d, uniform=%d", maxCount, uniform)
+	}
+}
+
+func TestThrottlePacing(t *testing.T) {
+	e := sim.New(1)
+	var done sim.Time
+	e.Go("paced", func(p *sim.Proc) {
+		th := NewThrottle(100) // 100 ops/s -> 10ms spacing
+		for i := 0; i < 11; i++ {
+			th.Wait(p)
+		}
+		done = p.Now()
+	})
+	e.Run()
+	if done != sim.Time(100*sim.Millisecond) {
+		t.Fatalf("11 paced ops finished at %v, want 100ms", done)
+	}
+}
+
+func TestThrottleNilIsUnlimited(t *testing.T) {
+	e := sim.New(1)
+	var done sim.Time
+	e.Go("free", func(p *sim.Proc) {
+		th := NewThrottle(0)
+		for i := 0; i < 1000; i++ {
+			th.Wait(p)
+		}
+		done = p.Now()
+	})
+	e.Run()
+	if done != 0 {
+		t.Fatalf("unthrottled waits consumed time: %v", done)
+	}
+}
+
+func TestZetaPositive(t *testing.T) {
+	if zeta(100, 0.99) <= 0 {
+		t.Fatal("zeta must be positive")
+	}
+}

@@ -1,0 +1,272 @@
+// Package ramcloud is a simulation-grade reproduction of the RAMCloud
+// in-memory storage system and of the ICDCS 2017 characterization study
+// "Characterizing Performance and Energy-Efficiency of The RAMCloud
+// Storage System" (Taleb, Ibrahim, Antoniu, Cortes).
+//
+// The package offers three things:
+//
+//   - A complete RAMCloud-class storage system: coordinator, masters with
+//     log-structured memory and hash-table indexes, backups with DRAM
+//     staging and disk spill, synchronous primary-backup replication, and
+//     distributed crash recovery.
+//   - A deterministic simulated testbed modeled on the paper's Grid'5000
+//     Nancy cluster: 4-core nodes, Infiniband-class fabric, HDDs, and
+//     PDU power metering with a calibrated power model.
+//   - The paper's measurement harness: every table and figure of the
+//     evaluation can be regenerated (see Experiments and cmd/rcbench).
+//
+// Applications script workloads against a Simulation:
+//
+//	sim := ramcloud.NewSimulation(ramcloud.Options{Servers: 3})
+//	table := sim.CreateTable("usertable")
+//	sim.Spawn("app", func(c *ramcloud.Client) {
+//	    c.Write(table, []byte("k"), []byte("v"))
+//	    v, _ := c.Read(table, []byte("k"))
+//	    fmt.Println(string(v))
+//	})
+//	sim.Run()
+//
+// All time inside the simulation is virtual: a million operations cost
+// milliseconds of wall clock, and runs are fully deterministic for a
+// given seed.
+package ramcloud
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ramcloud/internal/client"
+	"ramcloud/internal/core"
+	"ramcloud/internal/energy"
+	"ramcloud/internal/sim"
+	"ramcloud/internal/ycsb"
+)
+
+// Client errors surfaced by the public API.
+var (
+	// ErrNotFound reports a read or delete of an absent key.
+	ErrNotFound = client.ErrNotFound
+	// ErrUnavailable reports an operation that exhausted its retries.
+	ErrUnavailable = client.ErrUnavailable
+)
+
+// Options configures a simulated cluster.
+type Options struct {
+	// Servers is the number of storage servers (master + backup each).
+	// Default 3.
+	Servers int
+	// ReplicationFactor is the number of backup replicas per segment.
+	// 0 disables replication (the paper's Sections IV-V configuration).
+	ReplicationFactor int
+	// Seed drives all randomness; runs with equal seeds are identical.
+	// Default 1.
+	Seed int64
+	// SegmentBytes overrides the 8 MB log segment size.
+	SegmentBytes int
+	// LogBytes overrides the 10 GB per-server log capacity.
+	LogBytes int64
+	// RealPayloads stores actual value bytes (examples, small data). When
+	// false, values are virtual: only declared lengths flow through the
+	// system, allowing paper-scale datasets in modest host memory.
+	RealPayloads bool
+}
+
+// Simulation is a running simulated cluster plus its virtual clock.
+type Simulation struct {
+	opts    Options
+	eng     *sim.Engine
+	cluster *core.Cluster
+	done    *sim.WaitGroup
+	clients int
+}
+
+// NewSimulation builds and starts a cluster.
+func NewSimulation(opts Options) *Simulation {
+	if opts.Servers <= 0 {
+		opts.Servers = 3
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	profile := core.DefaultProfile()
+	if opts.SegmentBytes > 0 {
+		profile.Server.Log.SegmentBytes = opts.SegmentBytes
+	}
+	if opts.LogBytes > 0 {
+		profile.Server.Log.TotalBytes = opts.LogBytes
+	}
+	eng := sim.New(opts.Seed)
+	cl := core.NewCluster(eng, profile, opts.Servers, opts.ReplicationFactor)
+	cl.Start()
+	return &Simulation{opts: opts, eng: eng, cluster: cl, done: sim.NewWaitGroup(eng)}
+}
+
+// Table identifies a created table.
+type Table uint64
+
+// CreateTable creates a table spanning every server, like the paper's
+// ServerSpan = cluster size configuration.
+func (s *Simulation) CreateTable(name string) Table {
+	return Table(s.cluster.CreateTable(name))
+}
+
+// BulkLoad fills a table with n fixed-size records keyed user0000000000..
+// in zero simulated time (the YCSB load phase).
+func (s *Simulation) BulkLoad(table Table, records int, recordSize int) {
+	s.cluster.BulkLoad(uint64(table), records, recordSize)
+}
+
+// Client is a storage client bound to one scripted proc. Its methods may
+// only be used inside the function passed to Spawn.
+type Client struct {
+	p *sim.Proc
+	c *client.Client
+}
+
+// Spawn schedules fn to run as a simulated client application. Each spawn
+// gets its own client node on the fabric. fn runs during Run.
+func (s *Simulation) Spawn(name string, fn func(c *Client)) {
+	cl := s.cluster.NewClient()
+	s.clients++
+	s.done.Add(1)
+	s.eng.Go(name, func(p *sim.Proc) {
+		defer s.done.Done()
+		p.Sleep(sim.Millisecond) // let cluster bring-up settle
+		fn(&Client{p: p, c: cl})
+	})
+}
+
+// Run executes the simulation until every spawned client finishes.
+func (s *Simulation) Run() {
+	s.eng.Go("ramcloud-controller", func(p *sim.Proc) {
+		s.done.Wait(p)
+		p.Sleep(sim.Second) // final PDU tick
+		s.cluster.StopMetering()
+		s.eng.Stop()
+	})
+	s.eng.Run()
+	s.eng.Shutdown()
+}
+
+// RunFor executes the simulation for a fixed span of virtual time,
+// whether or not clients have finished.
+func (s *Simulation) RunFor(d time.Duration) {
+	s.eng.RunUntil(s.eng.Now().Add(sim.Duration(d)))
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() time.Duration {
+	return time.Duration(s.eng.Now())
+}
+
+// KillServer crashes server index i (0-based); the coordinator's failure
+// detector triggers distributed recovery.
+func (s *Simulation) KillServer(i int) {
+	if i < 0 || i >= len(s.cluster.Servers) {
+		panic(fmt.Sprintf("ramcloud: no server %d", i))
+	}
+	s.cluster.KillServer(i)
+}
+
+// Servers returns the number of storage servers.
+func (s *Simulation) Servers() int { return len(s.cluster.Servers) }
+
+// RecoveryCount returns how many crash recoveries have completed.
+func (s *Simulation) RecoveryCount() int { return len(s.cluster.Coord.Records()) }
+
+// EnergyReport summarizes power and energy over the first n seconds of
+// the run (n <= 0 means everything sampled so far).
+func (s *Simulation) EnergyReport() energy.Report {
+	end := int(int64(s.eng.Now()) / int64(sim.Second))
+	var ops int64
+	for _, c := range s.cluster.Clients {
+		ops += c.Stats().Ops.Value()
+	}
+	return s.cluster.EnergyReport(0, end, ops)
+}
+
+// Read fetches a value. With virtual payloads (the default) the returned
+// slice is nil and only its declared length is meaningful; use ValueLen
+// in that case.
+func (c *Client) Read(table Table, key []byte) ([]byte, error) {
+	_, v, err := c.c.Read(c.p, uint64(table), key)
+	return v, err
+}
+
+// ReadLen fetches a value's declared length without materializing bytes.
+func (c *Client) ReadLen(table Table, key []byte) (int, error) {
+	n, _, err := c.c.Read(c.p, uint64(table), key)
+	return int(n), err
+}
+
+// Write stores a value durably (replicated when the cluster has a
+// replication factor).
+func (c *Client) Write(table Table, key, value []byte) error {
+	return c.c.Write(c.p, uint64(table), key, uint32(len(value)), value)
+}
+
+// WriteLen stores a virtual value of the given length.
+func (c *Client) WriteLen(table Table, key []byte, valueLen int) error {
+	return c.c.Write(c.p, uint64(table), key, uint32(valueLen), nil)
+}
+
+// Delete removes a key.
+func (c *Client) Delete(table Table, key []byte) error {
+	return c.c.Delete(c.p, uint64(table), key)
+}
+
+// Sleep pauses the client for a span of virtual time.
+func (c *Client) Sleep(d time.Duration) { c.p.Sleep(sim.Duration(d)) }
+
+// Now returns the current virtual time.
+func (c *Client) Now() time.Duration { return time.Duration(c.p.Now()) }
+
+// Stats exposes the client's latency and throughput measurements.
+func (c *Client) Stats() *client.Stats { return c.c.Stats() }
+
+// RunWorkload drives this client through a YCSB workload: n requests of
+// the given mix against the table, optionally throttled to rate ops/s.
+func (c *Client) RunWorkload(table Table, workload string, records, requests int, rate float64, seed int64) error {
+	w, err := ycsb.ByName(workload, records, 1024)
+	if err != nil {
+		return err
+	}
+	res := ycsb.RunClient(c.p, c.c, w, ycsb.RunOptions{
+		Table:    uint64(table),
+		Requests: requests,
+		Rate:     rate,
+		Seed:     seed,
+	})
+	if res.Errors > 0 {
+		return fmt.Errorf("ramcloud: workload finished with %d errors: %w", res.Errors, ErrUnavailable)
+	}
+	return nil
+}
+
+// Experiment mirror of internal/core for external callers ------------------
+
+// ExperimentIDs lists the reproducible paper artifacts in paper order.
+func ExperimentIDs() []string {
+	exps := core.Experiments()
+	out := make([]string, len(exps))
+	for i, e := range exps {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// RunExperiment regenerates one paper table/figure and returns its
+// rendered result. Scale 1.0 is the standard reproduction scale; larger
+// values approach paper-scale run lengths.
+func RunExperiment(id string, scale float64, seed int64) (string, error) {
+	e, ok := core.ByID(id)
+	if !ok {
+		return "", fmt.Errorf("ramcloud: unknown experiment %q (see ExperimentIDs)", id)
+	}
+	res := e.Run(core.Options{Scale: scale, Seed: seed})
+	return res.Render(), nil
+}
+
+// ErrUnknownExperiment reports an invalid experiment id.
+var ErrUnknownExperiment = errors.New("ramcloud: unknown experiment")
