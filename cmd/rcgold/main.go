@@ -1,0 +1,45 @@
+// Command rcgold renders every experiment at a fixed seed and scale to
+// stdout. Its output is a determinism fixture: two runs of the same
+// binary must be byte-identical, and a simulation-core refactor must not
+// change the rendering (diff the output against a pre-change capture).
+//
+//	rcgold -scale 1.0 -seed 42 > golden.txt
+//	rcgold -only fig1a,dist
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ramcloud/internal/core"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 1.0, "experiment scale factor")
+		seed  = flag.Int64("seed", 42, "simulation seed")
+		only  = flag.String("only", "", "comma-separated experiment ids (default: all)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := core.ByID(id); !ok {
+				fmt.Fprintf(os.Stderr, "rcgold: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			want[id] = true
+		}
+	}
+	for _, exp := range core.Experiments() {
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		res := exp.Run(core.Options{Scale: *scale, Seed: *seed})
+		fmt.Println(res.Render())
+	}
+}

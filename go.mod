@@ -1,0 +1,3 @@
+module ramcloud
+
+go 1.24

@@ -1,0 +1,55 @@
+package hashtable
+
+import "testing"
+
+// Benchmarks of the master's object index. Lookup and Insert are on the
+// read and write hot paths respectively; HashKey runs once per client
+// operation on both client and server.
+
+const benchN = 1 << 16
+
+func benchTable(n int) (*Table, []uint64) {
+	t := New(n)
+	hashes := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		hashes[i] = HashKey(1, []byte{byte(i), byte(i >> 8), byte(i >> 16), 'k'})
+		t.Insert(hashes[i], uint64(i))
+	}
+	return t, hashes
+}
+
+func BenchmarkHashKey(b *testing.B) {
+	key := []byte("user0000000007")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkU64 = HashKey(42, key)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	t, hashes := benchTable(benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, ok := t.Lookup(hashes[i&(benchN-1)], nil)
+		if !ok {
+			b.Fatal("missing key")
+		}
+		sinkU64 = ref
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	t, hashes := benchTable(benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := hashes[i&(benchN-1)]
+		if _, ok := t.Delete(h, nil); !ok {
+			b.Fatal("missing key")
+		}
+		t.Insert(h, uint64(i))
+	}
+}
+
+var sinkU64 uint64

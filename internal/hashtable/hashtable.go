@@ -7,9 +7,19 @@
 // The table stores full 64-bit hashes but does not store keys: distinct
 // keys can share a hash, so lookups take an equality callback that checks
 // the candidate's key in the log, exactly as RAMCloud does.
+//
+// Occupancy is a single uint8 bitmask per bucket (bit i = slot i used)
+// rather than a [8]bool array, so a bucket stays compact and a full or
+// empty bucket is detected with one compare instead of eight loads.
+// Lookup performs no allocation.
 package hashtable
 
+import "math/bits"
+
 const slotsPerBucket = 8
+
+// fullMask has one bit set per slot.
+const fullMask = uint8(1<<slotsPerBucket - 1)
 
 // maxLoad is entries per directory slot beyond which the table doubles
 // (6 of 8 slots used on average).
@@ -18,7 +28,7 @@ const maxLoad = 6
 type bucket struct {
 	hashes   [slotsPerBucket]uint64
 	refs     [slotsPerBucket]uint64
-	used     [slotsPerBucket]bool
+	used     uint8 // occupancy bitmask; bit i covers slot i
 	overflow *bucket
 }
 
@@ -59,8 +69,9 @@ func (t *Table) DirectorySize() int { return len(t.buckets) }
 func (t *Table) Lookup(hash uint64, eq EqualFunc) (uint64, bool) {
 	b := &t.buckets[hash&t.mask]
 	for b != nil {
-		for i := 0; i < slotsPerBucket; i++ {
-			if b.used[i] && b.hashes[i] == hash && (eq == nil || eq(b.refs[i])) {
+		for m := b.used; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros8(m)
+			if b.hashes[i] == hash && (eq == nil || eq(b.refs[i])) {
 				return b.refs[i], true
 			}
 		}
@@ -82,13 +93,12 @@ func (t *Table) Insert(hash uint64, ref uint64) {
 func (t *Table) insertNoGrow(hash uint64, ref uint64) {
 	b := &t.buckets[hash&t.mask]
 	for {
-		for i := 0; i < slotsPerBucket; i++ {
-			if !b.used[i] {
-				b.hashes[i] = hash
-				b.refs[i] = ref
-				b.used[i] = true
-				return
-			}
+		if b.used != fullMask {
+			i := bits.TrailingZeros8(^b.used)
+			b.hashes[i] = hash
+			b.refs[i] = ref
+			b.used |= 1 << i
+			return
 		}
 		if b.overflow == nil {
 			b.overflow = &bucket{}
@@ -103,8 +113,9 @@ func (t *Table) insertNoGrow(hash uint64, ref uint64) {
 func (t *Table) Replace(hash uint64, eq EqualFunc, newRef uint64) (old uint64, ok bool) {
 	b := &t.buckets[hash&t.mask]
 	for b != nil {
-		for i := 0; i < slotsPerBucket; i++ {
-			if b.used[i] && b.hashes[i] == hash && (eq == nil || eq(b.refs[i])) {
+		for m := b.used; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros8(m)
+			if b.hashes[i] == hash && (eq == nil || eq(b.refs[i])) {
 				old = b.refs[i]
 				b.refs[i] = newRef
 				return old, true
@@ -116,19 +127,26 @@ func (t *Table) Replace(hash uint64, eq EqualFunc, newRef uint64) (old uint64, o
 }
 
 // Delete removes an entry and returns its ref. ok is false when no entry
-// matched.
+// matched. Overflow buckets left empty by the removal are unlinked from
+// the chain so they are neither scanned again nor counted as overflow.
 func (t *Table) Delete(hash uint64, eq EqualFunc) (ref uint64, ok bool) {
-	b := &t.buckets[hash&t.mask]
-	for b != nil {
-		for i := 0; i < slotsPerBucket; i++ {
-			if b.used[i] && b.hashes[i] == hash && (eq == nil || eq(b.refs[i])) {
+	head := &t.buckets[hash&t.mask]
+	prev := (*bucket)(nil)
+	for b := head; b != nil; prev, b = b, b.overflow {
+		for m := b.used; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros8(m)
+			if b.hashes[i] == hash && (eq == nil || eq(b.refs[i])) {
 				ref = b.refs[i]
-				b.used[i] = false
+				b.used &^= 1 << i
 				t.n--
+				if b.used == 0 && prev != nil {
+					// The overflow bucket is empty: unlink and free it.
+					prev.overflow = b.overflow
+					t.overflowBuckets--
+				}
 				return ref, true
 			}
 		}
-		b = b.overflow
 	}
 	return 0, false
 }
@@ -137,10 +155,9 @@ func (t *Table) Delete(hash uint64, eq EqualFunc) (ref uint64, ok bool) {
 func (t *Table) ForEach(fn func(hash, ref uint64)) {
 	for i := range t.buckets {
 		for b := &t.buckets[i]; b != nil; b = b.overflow {
-			for s := 0; s < slotsPerBucket; s++ {
-				if b.used[s] {
-					fn(b.hashes[s], b.refs[s])
-				}
+			for m := b.used; m != 0; m &= m - 1 {
+				s := bits.TrailingZeros8(m)
+				fn(b.hashes[s], b.refs[s])
 			}
 		}
 	}
@@ -154,10 +171,9 @@ func (t *Table) grow() {
 	t.overflowBuckets = 0
 	for i := range old {
 		for b := &old[i]; b != nil; b = b.overflow {
-			for s := 0; s < slotsPerBucket; s++ {
-				if b.used[s] {
-					t.insertNoGrow(b.hashes[s], b.refs[s])
-				}
+			for m := b.used; m != 0; m &= m - 1 {
+				s := bits.TrailingZeros8(m)
+				t.insertNoGrow(b.hashes[s], b.refs[s])
 			}
 		}
 	}
@@ -169,16 +185,22 @@ const (
 	fnvPrime  = 1099511628211
 )
 
-// HashKey hashes a (table, key) pair to the 64-bit key-hash space.
+// HashKey hashes a (table, key) pair to the 64-bit key-hash space. The
+// 8 bytes of the table id are folded in as one unrolled word (identical
+// value to the former byte loop, without the loop-carried counter), then
+// the key bytes are mixed in.
 func HashKey(table uint64, key []byte) uint64 {
 	h := uint64(fnvOffset)
-	for i := 0; i < 8; i++ {
-		h ^= uint64(byte(table >> (8 * i)))
-		h *= fnvPrime
-	}
+	h = (h ^ (table & 0xff)) * fnvPrime
+	h = (h ^ (table >> 8 & 0xff)) * fnvPrime
+	h = (h ^ (table >> 16 & 0xff)) * fnvPrime
+	h = (h ^ (table >> 24 & 0xff)) * fnvPrime
+	h = (h ^ (table >> 32 & 0xff)) * fnvPrime
+	h = (h ^ (table >> 40 & 0xff)) * fnvPrime
+	h = (h ^ (table >> 48 & 0xff)) * fnvPrime
+	h = (h ^ (table >> 56)) * fnvPrime
 	for _, c := range key {
-		h ^= uint64(c)
-		h *= fnvPrime
+		h = (h ^ uint64(c)) * fnvPrime
 	}
 	return h
 }

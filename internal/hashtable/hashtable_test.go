@@ -98,6 +98,41 @@ func TestBucketOverflowChains(t *testing.T) {
 	}
 }
 
+func TestDeleteFreesEmptiedOverflowBuckets(t *testing.T) {
+	ht := New(0)
+	dir := uint64(ht.DirectorySize())
+	// 24 colliding entries -> a chain of 2 overflow buckets.
+	for i := 0; i < 24; i++ {
+		ht.Insert(5+uint64(i)*dir, uint64(1000+i))
+	}
+	if got := ht.OverflowBuckets(); got != 2 {
+		t.Fatalf("overflow buckets = %d, want 2", got)
+	}
+	// Deleting everything must unlink and stop counting both chain buckets.
+	for i := 0; i < 24; i++ {
+		want := uint64(1000 + i)
+		if _, ok := ht.Delete(5+uint64(i)*dir, func(r uint64) bool { return r == want }); !ok {
+			t.Fatalf("entry %d not deleted", i)
+		}
+	}
+	if got := ht.OverflowBuckets(); got != 0 {
+		t.Fatalf("overflow buckets after drain = %d, want 0", got)
+	}
+	if ht.Len() != 0 {
+		t.Fatalf("len = %d", ht.Len())
+	}
+	// The emptied chain must not strand later inserts: reinsert and find.
+	for i := 0; i < 24; i++ {
+		ht.Insert(5+uint64(i)*dir, uint64(2000+i))
+	}
+	for i := 0; i < 24; i++ {
+		want := uint64(2000 + i)
+		if _, ok := ht.Lookup(5+uint64(i)*dir, func(r uint64) bool { return r == want }); !ok {
+			t.Fatalf("entry %d lost after reinsert", i)
+		}
+	}
+}
+
 func TestGrowRetainsEntries(t *testing.T) {
 	ht := New(0)
 	dir0 := ht.DirectorySize()

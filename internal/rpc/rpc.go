@@ -4,8 +4,9 @@
 // requests land in a queue serviced by the node's dispatch proc.
 //
 // Message sizes on the wire are computed from the real binary encoding
-// (wire.Size), so transfer timing matches what a physical network would
-// see.
+// (wire.Message.WireSize), so transfer timing matches what a physical
+// network would see. Messages travel the whole path as wire.Message — no
+// `any` boxing, no wrapper allocation per send.
 package rpc
 
 import (
@@ -20,15 +21,8 @@ import (
 type Request struct {
 	From      simnet.NodeID
 	RPCID     uint64
-	Msg       any
+	Msg       wire.Message
 	ArrivedAt sim.Time
-}
-
-// packet is the fabric payload: either a request or a response.
-type packet struct {
-	rpcID uint64
-	msg   any
-	resp  bool
 }
 
 // Endpoint is one node's RPC port.
@@ -38,7 +32,7 @@ type Endpoint struct {
 	node simnet.NodeID
 
 	nextID  uint64
-	pending map[uint64]*sim.Future[any]
+	pending map[uint64]*sim.Future[wire.Message]
 
 	// Inbound holds requests awaiting the dispatch proc.
 	Inbound *sim.Queue[Request]
@@ -53,7 +47,7 @@ func NewEndpoint(e *sim.Engine, net *simnet.Network, node simnet.NodeID) *Endpoi
 		eng:     e,
 		net:     net,
 		node:    node,
-		pending: make(map[uint64]*sim.Future[any]),
+		pending: make(map[uint64]*sim.Future[wire.Message]),
 		Inbound: sim.NewQueue[Request](e),
 	}
 	net.Attach(node, ep.deliver)
@@ -70,49 +64,47 @@ func (ep *Endpoint) Sent() uint64 { return ep.sent }
 func (ep *Endpoint) Received() uint64 { return ep.received }
 
 func (ep *Endpoint) deliver(m simnet.Message) {
-	pkt := m.Payload.(packet)
-	if pkt.resp {
-		f, ok := ep.pending[pkt.rpcID]
+	if m.Resp {
+		f, ok := ep.pending[m.RPCID]
 		if !ok {
 			return // late response after timeout: dropped
 		}
-		delete(ep.pending, pkt.rpcID)
-		f.Set(pkt.msg)
+		delete(ep.pending, m.RPCID)
+		f.Set(m.Payload)
 		return
 	}
 	ep.received++
-	ep.Inbound.Push(Request{From: m.From, RPCID: pkt.rpcID, Msg: pkt.msg, ArrivedAt: ep.eng.Now()})
+	ep.Inbound.Push(Request{From: m.From, RPCID: m.RPCID, Msg: m.Payload, ArrivedAt: ep.eng.Now()})
+}
+
+// send issues a request, registering a future for its response.
+func (ep *Endpoint) send(to simnet.NodeID, msg wire.Message) (uint64, *sim.Future[wire.Message]) {
+	ep.nextID++
+	id := ep.nextID
+	f := sim.NewFuture[wire.Message](ep.eng)
+	ep.pending[id] = f
+	ep.sent++
+	ep.net.Send(simnet.Message{From: ep.node, To: to, Size: msg.WireSize(), RPCID: id, Payload: msg})
+	return id, f
 }
 
 // AsyncCall issues a request and returns a future for the response. Use
 // for fan-out (replication) where the caller gathers several acks.
-func (ep *Endpoint) AsyncCall(to simnet.NodeID, msg any) *sim.Future[any] {
-	ep.nextID++
-	id := ep.nextID
-	f := sim.NewFuture[any](ep.eng)
-	ep.pending[id] = f
-	ep.sent++
-	size := wire.Size(wire.Envelope{RPCID: id, Msg: msg})
-	ep.net.Send(simnet.Message{From: ep.node, To: to, Size: size, Payload: packet{rpcID: id, msg: msg}})
+func (ep *Endpoint) AsyncCall(to simnet.NodeID, msg wire.Message) *sim.Future[wire.Message] {
+	_, f := ep.send(to, msg)
 	return f
 }
 
 // Call issues a request and blocks until the response arrives. It never
 // gives up; use CallTimeout when the peer may be dead.
-func (ep *Endpoint) Call(p *sim.Proc, to simnet.NodeID, msg any) any {
+func (ep *Endpoint) Call(p *sim.Proc, to simnet.NodeID, msg wire.Message) wire.Message {
 	return ep.AsyncCall(to, msg).Get(p)
 }
 
 // CallTimeout issues a request and waits up to d for the response. On
 // timeout the pending entry is dropped so a late response is discarded.
-func (ep *Endpoint) CallTimeout(p *sim.Proc, to simnet.NodeID, msg any, d sim.Duration) (any, bool) {
-	ep.nextID++
-	id := ep.nextID
-	f := sim.NewFuture[any](ep.eng)
-	ep.pending[id] = f
-	ep.sent++
-	size := wire.Size(wire.Envelope{RPCID: id, Msg: msg})
-	ep.net.Send(simnet.Message{From: ep.node, To: to, Size: size, Payload: packet{rpcID: id, msg: msg}})
+func (ep *Endpoint) CallTimeout(p *sim.Proc, to simnet.NodeID, msg wire.Message, d sim.Duration) (wire.Message, bool) {
+	id, f := ep.send(to, msg)
 	resp, ok := f.GetTimeout(p, d)
 	if !ok {
 		delete(ep.pending, id)
@@ -121,16 +113,15 @@ func (ep *Endpoint) CallTimeout(p *sim.Proc, to simnet.NodeID, msg any, d sim.Du
 }
 
 // Reply sends a response for an inbound request.
-func (ep *Endpoint) Reply(req Request, msg any) {
-	size := wire.Size(wire.Envelope{RPCID: req.RPCID, Msg: msg})
-	ep.net.Send(simnet.Message{From: ep.node, To: req.From, Size: size, Payload: packet{rpcID: req.RPCID, msg: msg, resp: true}})
+func (ep *Endpoint) Reply(req Request, msg wire.Message) {
+	ep.net.Send(simnet.Message{From: ep.node, To: req.From, Size: msg.WireSize(), RPCID: req.RPCID, Resp: true, Payload: msg})
 }
 
 // WaitAll blocks until every future resolves, returning the responses in
 // order. Used by the replication fan-out ("wait for acknowledgements from
 // all backups").
-func WaitAll(p *sim.Proc, futures []*sim.Future[any]) []any {
-	out := make([]any, len(futures))
+func WaitAll(p *sim.Proc, futures []*sim.Future[wire.Message]) []wire.Message {
+	out := make([]wire.Message, len(futures))
 	for i, f := range futures {
 		out[i] = f.Get(p)
 	}
@@ -138,41 +129,9 @@ func WaitAll(p *sim.Proc, futures []*sim.Future[any]) []any {
 }
 
 // MustStatus extracts a status from a response message known to carry one.
-func MustStatus(msg any) wire.Status {
-	switch m := msg.(type) {
-	case *wire.ReadResp:
-		return m.Status
-	case *wire.WriteResp:
-		return m.Status
-	case *wire.DeleteResp:
-		return m.Status
-	case *wire.CreateTableResp:
-		return m.Status
-	case *wire.DropTableResp:
-		return m.Status
-	case *wire.GetTabletMapResp:
-		return m.Status
-	case *wire.EnlistResp:
-		return m.Status
-	case *wire.SetWillResp:
-		return m.Status
-	case *wire.OpenSegmentResp:
-		return m.Status
-	case *wire.ReplicateResp:
-		return m.Status
-	case *wire.CloseSegmentResp:
-		return m.Status
-	case *wire.FreeReplicasResp:
-		return m.Status
-	case *wire.SegmentInventoryResp:
-		return m.Status
-	case *wire.GetRecoveryDataResp:
-		return m.Status
-	case *wire.RecoverResp:
-		return m.Status
-	case *wire.RecoveryDoneResp:
-		return m.Status
-	default:
-		panic(fmt.Sprintf("rpc: message %T carries no status", msg))
+func MustStatus(msg wire.Message) wire.Status {
+	if r, ok := msg.(wire.Response); ok {
+		return r.RespStatus()
 	}
+	panic(fmt.Sprintf("rpc: message %T carries no status", msg))
 }

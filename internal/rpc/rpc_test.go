@@ -124,7 +124,7 @@ func TestAsyncCallFanOut(t *testing.T) {
 	}
 	var replies int
 	e.Go("client", func(p *sim.Proc) {
-		var futures []*sim.Future[any]
+		var futures []*sim.Future[wire.Message]
 		for id := simnet.NodeID(2); id <= 4; id++ {
 			futures = append(futures, cl.AsyncCall(id, &wire.PingReq{Seq: uint64(id)}))
 		}

@@ -255,7 +255,7 @@ func (s *Server) rollLocked(p *sim.Proc) {
 	}
 	backups := s.chooseBackups(rf)
 	s.replicas[head.ID()] = backups
-	futures := make([]*sim.Future[any], 0, len(backups))
+	futures := make([]*sim.Future[wire.Message], 0, len(backups))
 	for _, b := range backups {
 		s.busy(p, s.cfg.Costs.SendOverhead)
 		futures = append(futures, s.ep.AsyncCall(b, &wire.OpenSegmentReq{Master: s.id, Segment: head.ID()}))
@@ -302,7 +302,7 @@ func (s *Server) replicateObject(p *sim.Proc, segment uint64, obj wire.Object) {
 		return
 	}
 	backups := s.replicas[segment]
-	futures := make([]*sim.Future[any], 0, len(backups))
+	futures := make([]*sim.Future[wire.Message], 0, len(backups))
 	for _, b := range backups {
 		s.busy(p, s.replicationPostCost())
 		futures = append(futures, s.ep.AsyncCall(b, s.replicationMsg(segment, []wire.Object{obj})))
@@ -325,7 +325,7 @@ func (s *Server) replicateBatch(p *sim.Proc, segment uint64, objs []wire.Object)
 		return
 	}
 	backups := s.replicas[segment]
-	futures := make([]*sim.Future[any], 0, len(backups))
+	futures := make([]*sim.Future[wire.Message], 0, len(backups))
 	for _, b := range backups {
 		s.busy(p, s.replicationPostCost())
 		futures = append(futures, s.ep.AsyncCall(b, s.replicationMsg(segment, objs)))
@@ -350,7 +350,7 @@ func (s *Server) replicationPostCost() sim.Duration {
 }
 
 // replicationMsg builds the replication request for the configured mode.
-func (s *Server) replicationMsg(segment uint64, objs []wire.Object) any {
+func (s *Server) replicationMsg(segment uint64, objs []wire.Object) wire.Message {
 	if s.cfg.RDMAReplication {
 		return &wire.RDMAWriteReq{Master: s.id, Segment: segment, Objects: objs}
 	}

@@ -1,0 +1,76 @@
+package sim
+
+import "testing"
+
+// Benchmarks of the event loop itself: every simulated RPC costs a handful
+// of scheduled events and proc hand-offs, so per-event overhead is the
+// wall-clock ceiling for the whole reproduction.
+
+// BenchmarkEngineDispatch measures heap-ordered dispatch with 64 concurrent
+// event chains at mixed delays, the shape the RPC fabric produces.
+func BenchmarkEngineDispatch(b *testing.B) {
+	e := New(1)
+	remaining := b.N
+	var tick func()
+	tick = func() {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		d := Duration(1 + (remaining%16)*100)
+		if remaining%64 == 0 {
+			d = Duration(1_000_000) // occasional far timer (timeouts, pings)
+		}
+		e.Schedule(d, tick)
+	}
+	const chains = 64
+	for i := 0; i < chains; i++ {
+		e.Schedule(Duration(i), tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineZeroDelay measures same-instant callback scheduling, the
+// dominant pattern of queue wake-ups and future resolution.
+func BenchmarkEngineZeroDelay(b *testing.B) {
+	e := New(1)
+	remaining := b.N
+	var tick func()
+	tick = func() {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		e.Schedule(0, tick)
+	}
+	e.Schedule(0, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkProcHandoff measures the full proc wake-up round trip through
+// two queues, the pattern of every dispatch->worker hand-off.
+func BenchmarkProcHandoff(b *testing.B) {
+	e := New(1)
+	q1, q2 := NewQueue[int](e), NewQueue[int](e)
+	n := b.N
+	e.Go("a", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			q1.Push(i)
+			_ = q2.Pop(p)
+		}
+	})
+	e.Go("b", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			_ = q1.Pop(p)
+			q2.Push(i)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+	e.Shutdown()
+}

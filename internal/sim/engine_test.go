@@ -293,3 +293,90 @@ func TestScaleDuration(t *testing.T) {
 		t.Fatal("Scale by zero must be zero")
 	}
 }
+
+func TestTimerHeapCancelMidHeap(t *testing.T) {
+	// Many interleaved deadlines; cancel from the middle of the heap and
+	// check the survivors fire in exact (time, seq) order.
+	e := New(1)
+	var tms []*timer
+	for i := 0; i < 40; i++ {
+		d := Duration((i*37)%100 + 1)
+		tms = append(tms, e.scheduleProcTimer(e.now.Add(d), nil))
+	}
+	// Cancel every third timer, including the current minimum.
+	for i := 0; i < len(tms); i += 3 {
+		e.cancelTimer(tms[i])
+		e.cancelTimer(tms[i]) // idempotent
+	}
+	var last Time
+	var lastSeq uint64
+	popped := 0
+	for len(e.timers) > 0 {
+		tm := e.timerPop()
+		popped++
+		if tm.t < last || (tm.t == last && tm.seq <= lastSeq) {
+			t.Fatalf("timer order violated: (%v,%d) after (%v,%d)", tm.t, tm.seq, last, lastSeq)
+		}
+		last, lastSeq = tm.t, tm.seq
+		// Heap invariant: every live timer knows its slot.
+		for idx, tt := range e.timers {
+			if tt.idx != idx {
+				t.Fatalf("timer idx %d stored as %d", idx, tt.idx)
+			}
+		}
+	}
+	if want := 40 - 14; popped != want { // 14 of 40 cancelled
+		t.Fatalf("popped %d timers, want %d", popped, want)
+	}
+}
+
+func TestTimerInterleavesWithEvents(t *testing.T) {
+	// A timer and plain events at the same timestamp must run in seq order.
+	e := New(1)
+	var order []string
+	done := make(chan struct{})
+	e.Go("waiter", func(p *Proc) {
+		f := NewFuture[int](e)
+		// Deadline at t=10; events also at t=10 on both sides of the
+		// timer's sequence number.
+		e.Schedule(10, func() { order = append(order, "before") })
+		_, ok := f.GetTimeout(p, 10)
+		if ok {
+			t.Error("future was never set; GetTimeout must time out")
+		}
+		order = append(order, "timeout")
+		close(done)
+	})
+	e.Run()
+	<-done
+	if len(order) != 2 || order[0] != "before" || order[1] != "timeout" {
+		t.Fatalf("order = %v", order)
+	}
+	e.Shutdown()
+}
+
+func TestFutureSetCancelsTimeoutTimer(t *testing.T) {
+	e := New(1)
+	f := NewFuture[int](e)
+	got := 0
+	e.Go("waiter", func(p *Proc) {
+		v, ok := f.GetTimeout(p, 1000)
+		if !ok {
+			t.Error("timed out despite early Set")
+		}
+		got = v
+	})
+	e.Schedule(5, func() { f.Set(7) })
+	e.Run()
+	if got != 7 {
+		t.Fatalf("got %d", got)
+	}
+	if len(e.timers) != 0 {
+		t.Fatalf("timer not cancelled: %d pending", len(e.timers))
+	}
+	// The engine must go quiet at the Set, not drag to the deadline.
+	if e.Now() >= 1000 {
+		t.Fatalf("engine ran to the stale deadline: now=%v", e.Now())
+	}
+	e.Shutdown()
+}

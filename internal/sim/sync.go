@@ -46,7 +46,7 @@ func (q *Queue[T]) Push(v T) {
 			w = q.waiting[0]
 			q.waiting = q.waiting[1:]
 		}
-		q.eng.ScheduleAt(q.eng.now, func() { q.eng.resumeProc(w) })
+		q.eng.scheduleProcAt(q.eng.now, w)
 	}
 }
 
@@ -111,7 +111,7 @@ func (m *Mutex) Unlock() {
 	if len(m.waiting) > 0 {
 		w := m.waiting[0]
 		m.waiting = m.waiting[1:]
-		m.eng.ScheduleAt(m.eng.now, func() { m.eng.resumeProc(w) })
+		m.eng.scheduleProcAt(m.eng.now, w)
 		return
 	}
 	m.locked = false
@@ -154,10 +154,17 @@ func (s *Semaphore) Release() {
 	if len(s.waiting) > 0 {
 		w := s.waiting[0]
 		s.waiting = s.waiting[1:]
-		s.eng.ScheduleAt(s.eng.now, func() { s.eng.resumeProc(w) })
+		s.eng.scheduleProcAt(s.eng.now, w)
 		return
 	}
 	s.avail++
+}
+
+// futureWaiter is one proc parked on a future, with its timeout timer when
+// the wait has a deadline.
+type futureWaiter struct {
+	p  *Proc
+	tm *timer
 }
 
 // Future is a write-once value that procs can wait on. It is the basis of
@@ -166,7 +173,7 @@ type Future[T any] struct {
 	eng     *Engine
 	set     bool
 	val     T
-	waiting []*Proc
+	waiting []futureWaiter
 }
 
 // NewFuture returns an unset future bound to e.
@@ -175,8 +182,8 @@ func NewFuture[T any](e *Engine) *Future[T] { return &Future[T]{eng: e} }
 // IsSet reports whether the future has a value.
 func (f *Future[T]) IsSet() bool { return f.set }
 
-// Set stores the value and wakes all waiters. Setting twice panics: a future
-// is single-assignment by design.
+// Set stores the value and wakes all waiters, cancelling their timeout
+// timers. Setting twice panics: a future is single-assignment by design.
 func (f *Future[T]) Set(v T) {
 	if f.set {
 		panic("sim: Future set twice")
@@ -184,8 +191,10 @@ func (f *Future[T]) Set(v T) {
 	f.set = true
 	f.val = v
 	for _, w := range f.waiting {
-		w := w
-		f.eng.ScheduleAt(f.eng.now, func() { f.eng.resumeProc(w) })
+		if w.tm != nil {
+			f.eng.cancelTimer(w.tm)
+		}
+		f.eng.scheduleProcAt(f.eng.now, w.p)
 	}
 	f.waiting = nil
 }
@@ -193,45 +202,40 @@ func (f *Future[T]) Set(v T) {
 // Get blocks until the future is set and returns its value.
 func (f *Future[T]) Get(p *Proc) T {
 	for !f.set {
-		f.waiting = append(f.waiting, p)
+		f.waiting = append(f.waiting, futureWaiter{p: p})
 		p.park()
 	}
 	return f.val
 }
 
 // GetTimeout blocks until the future is set or d elapses. ok is false on
-// timeout.
+// timeout. The deadline is a cancellable timer: when the value arrives in
+// time — the overwhelmingly common case — Set removes the timer, so no
+// stale deadline event lingers in the engine's queues.
 func (f *Future[T]) GetTimeout(p *Proc, d Duration) (v T, ok bool) {
 	if f.set {
 		return f.val, true
 	}
 	deadline := f.eng.now.Add(d)
-	fired := false
-	f.eng.ScheduleAt(deadline, func() {
-		if f.set || fired {
-			return
-		}
-		fired = true
-		f.eng.resumeProc(p)
-	})
+	tm := f.eng.scheduleProcTimer(deadline, p)
 	for !f.set {
-		f.waiting = append(f.waiting, p)
+		f.waiting = append(f.waiting, futureWaiter{p: p, tm: tm})
 		p.park()
 		if !f.set && f.eng.now >= deadline {
-			// Timed out. Remove ourselves from the wait list so a later Set
-			// does not try to resume a proc that has moved on.
+			// The timer fired. Remove ourselves from the wait list so a
+			// later Set does not try to resume a proc that has moved on.
 			f.dropWaiter(p)
 			var zero T
 			return zero, false
 		}
 	}
-	fired = true // suppress the timeout callback if it has not fired yet
+	// The value arrived first; Set cancelled the timer.
 	return f.val, true
 }
 
 func (f *Future[T]) dropWaiter(p *Proc) {
 	for i, w := range f.waiting {
-		if w == p {
+		if w.p == p {
 			f.waiting = append(f.waiting[:i], f.waiting[i+1:]...)
 			return
 		}
@@ -257,8 +261,7 @@ func (wg *WaitGroup) Add(delta int) {
 	}
 	if wg.count == 0 {
 		for _, w := range wg.waiting {
-			w := w
-			wg.eng.ScheduleAt(wg.eng.now, func() { wg.eng.resumeProc(w) })
+			wg.eng.scheduleProcAt(wg.eng.now, w)
 		}
 		wg.waiting = nil
 	}

@@ -11,6 +11,7 @@ import (
 
 	"ramcloud/internal/metrics"
 	"ramcloud/internal/sim"
+	"ramcloud/internal/wire"
 )
 
 // NodeID identifies an endpoint on the fabric.
@@ -18,12 +19,16 @@ type NodeID int
 
 // Message is one datagram. Size is the on-wire size in bytes (computed from
 // the wire encoding of the payload); Payload is delivered by reference to
-// keep the simulator fast.
+// keep the simulator fast. RPCID and Resp are the RPC layer's correlation
+// header, carried as plain fields so a send costs no wrapper allocation or
+// `any` boxing on the fast path.
 type Message struct {
 	From    NodeID
 	To      NodeID
 	Size    int
-	Payload any
+	RPCID   uint64
+	Resp    bool
+	Payload wire.Message
 }
 
 // Handler receives delivered messages in engine (callback) context. It must
@@ -61,8 +66,53 @@ type Network struct {
 	handlers map[NodeID]Handler
 	down     map[NodeID]bool
 
+	// free is a freelist of delivery records. Each record's closure is
+	// created once and rescheduled forever after, so a steady-state send
+	// allocates nothing.
+	free *delivery
+
 	delivered metrics.Counter
 	dropped   metrics.Counter
+}
+
+// delivery is one in-flight message's arrival event.
+type delivery struct {
+	n    *Network
+	msg  Message
+	at   sim.Time
+	fn   func() // bound to run once at construction; reused across sends
+	next *delivery
+}
+
+// run delivers the message and returns the record to the freelist.
+func (d *delivery) run() {
+	n := d.n
+	msg := d.msg
+	at := d.at
+	d.msg = Message{} // drop the payload reference before pooling
+	d.next = n.free
+	n.free = d
+	if n.down[msg.To] || n.down[msg.From] {
+		n.dropped.Inc()
+		return
+	}
+	dst := n.nics[msg.To]
+	spreadBytes(&dst.rxBytes, at, at, float64(msg.Size))
+	n.delivered.Inc()
+	n.handlers[msg.To](msg)
+}
+
+// newDelivery pops a pooled record or makes one.
+func (n *Network) newDelivery() *delivery {
+	d := n.free
+	if d == nil {
+		d = &delivery{n: n}
+		d.fn = d.run
+		return d
+	}
+	n.free = d.next
+	d.next = nil
+	return d
 }
 
 // New returns an empty fabric.
@@ -122,16 +172,10 @@ func (n *Network) Send(msg Message) {
 	spreadBytes(&src.txBytes, start, end, float64(msg.Size))
 
 	deliverAt := end.Add(n.cfg.PropagationDelay)
-	n.eng.ScheduleAt(deliverAt, func() {
-		if n.down[msg.To] || n.down[msg.From] {
-			n.dropped.Inc()
-			return
-		}
-		dst := n.nics[msg.To]
-		spreadBytes(&dst.rxBytes, deliverAt, deliverAt, float64(msg.Size))
-		n.delivered.Inc()
-		n.handlers[msg.To](msg)
-	})
+	d := n.newDelivery()
+	d.msg = msg
+	d.at = deliverAt
+	n.eng.ScheduleAt(deliverAt, d.fn)
 }
 
 func accountSpan(s *metrics.Series, from, to sim.Time) {

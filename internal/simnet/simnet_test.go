@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ramcloud/internal/sim"
+	"ramcloud/internal/wire"
 )
 
 func netCfg() Config {
@@ -20,13 +21,13 @@ func TestDeliveryLatency(t *testing.T) {
 	n.Attach(2, func(m Message) { at = e.Now(); got = m })
 	// 1000 bytes at 1 GB/s = 1us tx + 5us propagation.
 	e.Schedule(0, func() {
-		n.Send(Message{From: 1, To: 2, Size: 1000, Payload: "hello"})
+		n.Send(Message{From: 1, To: 2, Size: 1000, Payload: &wire.PingReq{Seq: 7}})
 	})
 	e.Run()
 	if at != sim.Time(6*sim.Microsecond) {
 		t.Fatalf("delivered at %v, want 6us", at)
 	}
-	if got.Payload != "hello" || got.From != 1 {
+	if m, ok := got.Payload.(*wire.PingReq); !ok || m.Seq != 7 || got.From != 1 {
 		t.Fatalf("message = %+v", got)
 	}
 	if n.Delivered() != 1 {
@@ -136,26 +137,26 @@ func TestRoundTripThroughQueues(t *testing.T) {
 	e := sim.New(1)
 	n := New(e, netCfg())
 	serverQ := sim.NewQueue[Message](e)
-	reply := sim.NewFuture[string](e)
-	n.Attach(1, func(m Message) { reply.Set(m.Payload.(string)) })
+	reply := sim.NewFuture[uint64](e)
+	n.Attach(1, func(m Message) { reply.Set(m.Payload.(*wire.PingResp).Seq) })
 	n.Attach(2, func(m Message) { serverQ.Push(m) })
 	e.Go("server", func(p *sim.Proc) {
 		m := serverQ.Pop(p)
 		p.Sleep(2 * sim.Microsecond) // service time
-		n.Send(Message{From: 2, To: 1, Size: 100, Payload: "re:" + m.Payload.(string)})
+		n.Send(Message{From: 2, To: 1, Size: 100, Payload: &wire.PingResp{Seq: m.Payload.(*wire.PingReq).Seq}})
 	})
-	var got string
+	var got uint64
 	var rtt sim.Duration
 	e.Go("client", func(p *sim.Proc) {
 		start := p.Now()
-		n.Send(Message{From: 1, To: 2, Size: 100, Payload: "ping"})
+		n.Send(Message{From: 1, To: 2, Size: 100, Payload: &wire.PingReq{Seq: 41}})
 		got = reply.Get(p)
 		rtt = p.Now().Sub(start)
 	})
 	e.Run()
 	e.Shutdown()
-	if got != "re:ping" {
-		t.Fatalf("got %q", got)
+	if got != 41 {
+		t.Fatalf("got %d", got)
 	}
 	// 2x (0.1us tx + 5us prop) + 2us service = 12.2us
 	want := sim.Duration(12200)

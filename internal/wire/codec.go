@@ -5,88 +5,7 @@ import "fmt"
 // Envelope wraps a message with its RPC correlation id.
 type Envelope struct {
 	RPCID uint64
-	Msg   any
-}
-
-// OpOf returns the opcode for a message struct pointer-or-value, or 0 when
-// the type is not a wire message.
-func OpOf(msg any) Op {
-	switch msg.(type) {
-	case *ReadReq:
-		return OpReadReq
-	case *ReadResp:
-		return OpReadResp
-	case *WriteReq:
-		return OpWriteReq
-	case *WriteResp:
-		return OpWriteResp
-	case *DeleteReq:
-		return OpDeleteReq
-	case *DeleteResp:
-		return OpDeleteResp
-	case *CreateTableReq:
-		return OpCreateTableReq
-	case *CreateTableResp:
-		return OpCreateTableResp
-	case *DropTableReq:
-		return OpDropTableReq
-	case *DropTableResp:
-		return OpDropTableResp
-	case *GetTabletMapReq:
-		return OpGetTabletMapReq
-	case *GetTabletMapResp:
-		return OpGetTabletMapResp
-	case *EnlistReq:
-		return OpEnlistReq
-	case *EnlistResp:
-		return OpEnlistResp
-	case *PingReq:
-		return OpPingReq
-	case *PingResp:
-		return OpPingResp
-	case *SetWillReq:
-		return OpSetWillReq
-	case *SetWillResp:
-		return OpSetWillResp
-	case *OpenSegmentReq:
-		return OpOpenSegmentReq
-	case *OpenSegmentResp:
-		return OpOpenSegmentResp
-	case *ReplicateReq:
-		return OpReplicateReq
-	case *ReplicateResp:
-		return OpReplicateResp
-	case *CloseSegmentReq:
-		return OpCloseSegmentReq
-	case *CloseSegmentResp:
-		return OpCloseSegmentResp
-	case *FreeReplicasReq:
-		return OpFreeReplicasReq
-	case *FreeReplicasResp:
-		return OpFreeReplicasResp
-	case *SegmentInventoryReq:
-		return OpSegmentInventoryReq
-	case *SegmentInventoryResp:
-		return OpSegmentInventoryResp
-	case *GetRecoveryDataReq:
-		return OpGetRecoveryDataReq
-	case *GetRecoveryDataResp:
-		return OpGetRecoveryDataResp
-	case *RecoverReq:
-		return OpRecoverReq
-	case *RecoverResp:
-		return OpRecoverResp
-	case *RecoveryDoneReq:
-		return OpRecoveryDoneReq
-	case *RecoveryDoneResp:
-		return OpRecoveryDoneResp
-	case *RDMAWriteReq:
-		return OpRDMAWriteReq
-	case *RDMAWriteResp:
-		return OpRDMAWriteResp
-	default:
-		return 0
-	}
+	Msg   Message
 }
 
 const objectFixed = 8 + 8 + 4 + 4 + 8 + 1 // table, keyhash, keylen, valuelen, version, tombstone
@@ -98,255 +17,18 @@ const segInfoSize = 8 + 4
 const segLocSize = 8 + 4 + 4
 const willPartSize = 8 + 8
 
-// Size returns the exact on-wire size of the envelope in bytes, counting
-// declared value lengths for virtual payloads.
-func Size(env Envelope) int {
-	body := 0
-	switch m := env.Msg.(type) {
-	case *ReadReq:
-		body = 8 + 4 + len(m.Key)
-	case *ReadResp:
-		body = 1 + 8 + 4 + int(m.ValueLen)
-	case *WriteReq:
-		body = 8 + 4 + len(m.Key) + 4 + int(m.ValueLen)
-	case *WriteResp:
-		body = 1 + 8
-	case *DeleteReq:
-		body = 8 + 4 + len(m.Key)
-	case *DeleteResp:
-		body = 1 + 8
-	case *CreateTableReq:
-		body = 4 + len(m.Name) + 4
-	case *CreateTableResp:
-		body = 1 + 8
-	case *DropTableReq:
-		body = 4 + len(m.Name)
-	case *DropTableResp:
-		body = 1
-	case *GetTabletMapReq:
-		body = 0
-	case *GetTabletMapResp:
-		body = 1 + 4 + len(m.Tablets)*tabletSize
-	case *EnlistReq:
-		body = 4 + 8 + 1
-	case *EnlistResp:
-		body = 1 + 4
-	case *PingReq:
-		body = 8
-	case *PingResp:
-		body = 8
-	case *SetWillReq:
-		body = 4 + 4 + len(m.Partitions)*willPartSize
-	case *SetWillResp:
-		body = 1
-	case *OpenSegmentReq:
-		body = 4 + 8
-	case *OpenSegmentResp:
-		body = 1
-	case *ReplicateReq:
-		body = 4 + 8 + 4
-		for i := range m.Objects {
-			body += objectSize(&m.Objects[i])
-		}
-	case *ReplicateResp:
-		body = 1
-	case *CloseSegmentReq:
-		body = 4 + 8 + 4
-	case *CloseSegmentResp:
-		body = 1
-	case *FreeReplicasReq:
-		body = 4
-	case *FreeReplicasResp:
-		body = 1
-	case *SegmentInventoryReq:
-		body = 4
-	case *SegmentInventoryResp:
-		body = 1 + 4 + len(m.Segments)*segInfoSize
-	case *GetRecoveryDataReq:
-		body = 4 + 8 + 8 + 8
-	case *GetRecoveryDataResp:
-		body = 1 + 4 + 4
-		for i := range m.Objects {
-			body += objectSize(&m.Objects[i])
-		}
-	case *RecoverReq:
-		body = 4 + 8 + 8 + 4 + len(m.Tablets)*tabletSize + 4 + len(m.Segments)*segLocSize
-	case *RecoverResp:
-		body = 1
-	case *RecoveryDoneReq:
-		body = 4 + 8 + 1
-	case *RecoveryDoneResp:
-		body = 1
-	case *RDMAWriteReq:
-		body = 4 + 8 + 4
-		for i := range m.Objects {
-			body += objectSize(&m.Objects[i])
-		}
-	case *RDMAWriteResp:
-		body = 1
-	default:
-		panic(fmt.Sprintf("wire: Size of unknown message %T", env.Msg))
-	}
-	return headerSize + body
-}
-
 // Marshal encodes the envelope. Messages carrying virtual values (declared
 // length without bytes) return ErrVirtualValue: they can cross the simulated
 // fabric but not a real one.
 func Marshal(env Envelope) ([]byte, error) {
-	op := OpOf(env.Msg)
-	if op == 0 {
-		return nil, fmt.Errorf("%w: %T", ErrUnknownOp, env.Msg)
+	if env.Msg == nil {
+		return nil, fmt.Errorf("%w: nil message", ErrUnknownOp)
 	}
-	e := &encoder{b: make([]byte, 0, Size(env))}
-	e.u8(uint8(op))
+	e := &encoder{b: make([]byte, 0, env.Msg.WireSize())}
+	e.u8(uint8(env.Msg.Op()))
 	e.u64(env.RPCID)
 	e.u32(0) // length back-patched below
-	var err error
-	switch m := env.Msg.(type) {
-	case *ReadReq:
-		e.u64(m.Table)
-		e.bytes(m.Key)
-	case *ReadResp:
-		e.u8(uint8(m.Status))
-		e.u64(m.Version)
-		err = encodeValue(e, m.ValueLen, m.Value)
-	case *WriteReq:
-		e.u64(m.Table)
-		e.bytes(m.Key)
-		err = encodeValue(e, m.ValueLen, m.Value)
-	case *WriteResp:
-		e.u8(uint8(m.Status))
-		e.u64(m.Version)
-	case *DeleteReq:
-		e.u64(m.Table)
-		e.bytes(m.Key)
-	case *DeleteResp:
-		e.u8(uint8(m.Status))
-		e.u64(m.Version)
-	case *CreateTableReq:
-		e.str(m.Name)
-		e.u32(m.ServerSpan)
-	case *CreateTableResp:
-		e.u8(uint8(m.Status))
-		e.u64(m.Table)
-	case *DropTableReq:
-		e.str(m.Name)
-	case *DropTableResp:
-		e.u8(uint8(m.Status))
-	case *GetTabletMapReq:
-	case *GetTabletMapResp:
-		e.u8(uint8(m.Status))
-		e.u32(uint32(len(m.Tablets)))
-		for i := range m.Tablets {
-			encodeTablet(e, &m.Tablets[i])
-		}
-	case *EnlistReq:
-		e.i32(m.Node)
-		e.i64(m.MemoryBytes)
-		e.b1(m.HasBackup)
-	case *EnlistResp:
-		e.u8(uint8(m.Status))
-		e.i32(m.ServerID)
-	case *PingReq:
-		e.u64(m.Seq)
-	case *PingResp:
-		e.u64(m.Seq)
-	case *SetWillReq:
-		e.i32(m.Master)
-		e.u32(uint32(len(m.Partitions)))
-		for _, pt := range m.Partitions {
-			e.u64(pt.FirstHash)
-			e.u64(pt.LastHash)
-		}
-	case *SetWillResp:
-		e.u8(uint8(m.Status))
-	case *OpenSegmentReq:
-		e.i32(m.Master)
-		e.u64(m.Segment)
-	case *OpenSegmentResp:
-		e.u8(uint8(m.Status))
-	case *ReplicateReq:
-		e.i32(m.Master)
-		e.u64(m.Segment)
-		e.u32(uint32(len(m.Objects)))
-		for i := range m.Objects {
-			if err = encodeObject(e, &m.Objects[i]); err != nil {
-				break
-			}
-		}
-	case *ReplicateResp:
-		e.u8(uint8(m.Status))
-	case *CloseSegmentReq:
-		e.i32(m.Master)
-		e.u64(m.Segment)
-		e.u32(m.SegmentBytes)
-	case *CloseSegmentResp:
-		e.u8(uint8(m.Status))
-	case *FreeReplicasReq:
-		e.i32(m.Master)
-	case *FreeReplicasResp:
-		e.u8(uint8(m.Status))
-	case *SegmentInventoryReq:
-		e.i32(m.Master)
-	case *SegmentInventoryResp:
-		e.u8(uint8(m.Status))
-		e.u32(uint32(len(m.Segments)))
-		for _, s := range m.Segments {
-			e.u64(s.Segment)
-			e.u32(s.Bytes)
-		}
-	case *GetRecoveryDataReq:
-		e.i32(m.Master)
-		e.u64(m.Segment)
-		e.u64(m.FirstHash)
-		e.u64(m.LastHash)
-	case *GetRecoveryDataResp:
-		e.u8(uint8(m.Status))
-		e.u32(m.SegmentBytes)
-		e.u32(uint32(len(m.Objects)))
-		for i := range m.Objects {
-			if err = encodeObject(e, &m.Objects[i]); err != nil {
-				break
-			}
-		}
-	case *RecoverReq:
-		e.i32(m.Crashed)
-		e.u64(m.FirstHash)
-		e.u64(m.LastHash)
-		e.u32(uint32(len(m.Tablets)))
-		for i := range m.Tablets {
-			encodeTablet(e, &m.Tablets[i])
-		}
-		e.u32(uint32(len(m.Segments)))
-		for _, s := range m.Segments {
-			e.u64(s.Segment)
-			e.i32(s.Backup)
-			e.u32(s.Bytes)
-		}
-	case *RecoverResp:
-		e.u8(uint8(m.Status))
-	case *RecoveryDoneReq:
-		e.i32(m.Crashed)
-		e.u64(m.FirstHash)
-		e.b1(m.Ok)
-	case *RecoveryDoneResp:
-		e.u8(uint8(m.Status))
-	case *RDMAWriteReq:
-		e.i32(m.Master)
-		e.u64(m.Segment)
-		e.u32(uint32(len(m.Objects)))
-		for i := range m.Objects {
-			if err = encodeObject(e, &m.Objects[i]); err != nil {
-				break
-			}
-		}
-	case *RDMAWriteResp:
-		e.u8(uint8(m.Status))
-	default:
-		return nil, fmt.Errorf("%w: %T", ErrUnknownOp, env.Msg)
-	}
-	if err != nil {
+	if err := env.Msg.encodeBody(e); err != nil {
 		return nil, err
 	}
 	// Back-patch total length.
@@ -415,7 +97,7 @@ func Unmarshal(b []byte) (Envelope, error) {
 	if d.err == nil && int(total) != len(b) {
 		return Envelope{}, fmt.Errorf("wire: length field %d != buffer %d", total, len(b))
 	}
-	var msg any
+	var msg Message
 	switch op {
 	case OpReadReq:
 		msg = &ReadReq{Table: d.u64(), Key: d.bytes()}

@@ -13,12 +13,12 @@ import (
 
 // allMessages returns one representative of every message type with
 // non-trivial field values.
-func allMessages() []any {
+func allMessages() []Message {
 	obj := Object{Table: 3, KeyHash: 0xdeadbeef, Key: []byte("user42"),
 		ValueLen: 5, Value: []byte("hello"), Version: 9, Tombstone: false}
 	tomb := Object{Table: 3, KeyHash: 1, Key: []byte("k"), Version: 2, Tombstone: true}
 	tab := Tablet{Table: 1, StartHash: 0, EndHash: ^uint64(0), Master: 4, Recovering: true}
-	return []any{
+	return []Message{
 		&ReadReq{Table: 1, Key: []byte("user1")},
 		&ReadResp{Status: StatusOK, Version: 3, ValueLen: 4, Value: []byte("data")},
 		&WriteReq{Table: 2, Key: []byte("k"), ValueLen: 3, Value: []byte("abc")},
@@ -87,41 +87,58 @@ func normalize(msg any) string {
 	return strings.ReplaceAll(fmt.Sprintf("%#v", msg), "[]uint8{}", "[]uint8(nil)")
 }
 
-func TestSizeMatchesMarshal(t *testing.T) {
+func TestWireSizeMatchesMarshal(t *testing.T) {
 	for _, msg := range allMessages() {
-		env := Envelope{RPCID: 1, Msg: msg}
-		b, err := Marshal(env)
+		b, err := Marshal(Envelope{RPCID: 1, Msg: msg})
 		if err != nil {
 			t.Fatalf("%T: %v", msg, err)
 		}
-		if got, want := Size(env), len(b); got != want {
-			t.Errorf("%T: Size = %d, Marshal produced %d bytes", msg, got, want)
+		if got, want := msg.WireSize(), len(b); got != want {
+			t.Errorf("%T: WireSize = %d, Marshal produced %d bytes", msg, got, want)
 		}
 	}
 }
 
-func TestOpOfCoversAllMessages(t *testing.T) {
+// TestOpCoversAllMessages asserts that allMessages carries exactly one
+// representative of every declared opcode, so the round-trip and size
+// tests above cannot silently drop a message type.
+func TestOpCoversAllMessages(t *testing.T) {
 	seen := map[Op]bool{}
 	for _, msg := range allMessages() {
-		op := OpOf(msg)
+		op := msg.Op()
 		if op == 0 {
-			t.Fatalf("OpOf(%T) = 0", msg)
+			t.Fatalf("(%T).Op() = 0", msg)
 		}
 		if seen[op] {
 			t.Fatalf("duplicate op %d for %T", op, msg)
 		}
 		seen[op] = true
 	}
-	if OpOf("not a message") != 0 {
-		t.Fatal("OpOf on junk should be 0")
+	for op := OpReadReq; op <= OpRDMAWriteResp; op++ {
+		if !seen[op] {
+			t.Errorf("opcode %d has no representative in allMessages", op)
+		}
+	}
+}
+
+// TestResponsesCarryStatus asserts every *Resp message except PingResp
+// implements Response, so rpc.MustStatus keeps working as types migrate.
+func TestResponsesCarryStatus(t *testing.T) {
+	for _, msg := range allMessages() {
+		name := fmt.Sprintf("%T", msg)
+		_, isResp := msg.(Response)
+		wantResp := strings.HasSuffix(name, "Resp") && name != "*wire.PingResp"
+		if isResp != wantResp {
+			t.Errorf("%s: implements Response = %v, want %v", name, isResp, wantResp)
+		}
 	}
 }
 
 func TestVirtualValueSizeCounted(t *testing.T) {
 	real := Envelope{Msg: &WriteReq{Table: 1, Key: []byte("k"), ValueLen: 1024, Value: make([]byte, 1024)}}
 	virtual := Envelope{Msg: &WriteReq{Table: 1, Key: []byte("k"), ValueLen: 1024, Value: nil}}
-	if Size(real) != Size(virtual) {
-		t.Fatalf("virtual size %d != real size %d", Size(virtual), Size(real))
+	if real.Msg.WireSize() != virtual.Msg.WireSize() {
+		t.Fatalf("virtual size %d != real size %d", virtual.Msg.WireSize(), real.Msg.WireSize())
 	}
 }
 
@@ -163,8 +180,8 @@ func TestUnmarshalLengthMismatch(t *testing.T) {
 	}
 }
 
-func TestMarshalUnknownType(t *testing.T) {
-	if _, err := Marshal(Envelope{Msg: 42}); !errors.Is(err, ErrUnknownOp) {
+func TestMarshalNilMessage(t *testing.T) {
+	if _, err := Marshal(Envelope{}); !errors.Is(err, ErrUnknownOp) {
 		t.Fatalf("err = %v", err)
 	}
 }
