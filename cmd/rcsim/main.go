@@ -29,6 +29,8 @@ func main() {
 		records   = flag.Int("records", 100_000, "records preloaded (1 KB each)")
 		requests  = flag.Int("requests", 20_000, "requests per client")
 		rate      = flag.Float64("rate", 0, "per-client throttle in ops/s (0 = unthrottled)")
+		batch     = flag.Int("batch", 0, "multi-op batch size: group ops into MultiRead/MultiWrite RPCs (0/1 = per-op)")
+		window    = flag.Int("window", 0, "async pipeline window: outstanding ops per client (0/1 = closed loop; ignored when -batch > 1)")
 		seed      = flag.Int64("seed", 42, "simulation seed")
 		killAfter = flag.Duration("kill-after", 0, "kill one server after this virtual time")
 		runs      = flag.Int("runs", 1, "seed-sweep run count (like the paper's 5-run averages)")
@@ -48,6 +50,8 @@ func main() {
 		Workload:          w,
 		RequestsPerClient: *requests,
 		Rate:              *rate,
+		BatchSize:         *batch,
+		Window:            *window,
 		Seed:              *seed,
 		KillAfter:         sim.Duration(*killAfter),
 		KillTarget:        -1,

@@ -151,11 +151,130 @@ func TestPublicAPIDeterminism(t *testing.T) {
 }
 
 func TestRunExperimentUnknown(t *testing.T) {
-	if _, err := RunExperiment("nope", 1, 1); err == nil {
+	_, err := RunExperiment("nope", 1, 1)
+	if err == nil {
 		t.Fatal("expected error for unknown experiment")
+	}
+	if !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("err = %v; want errors.Is(err, ErrUnknownExperiment)", err)
 	}
 	ids := ExperimentIDs()
 	if len(ids) < 20 {
 		t.Fatalf("experiments = %d, want >= 20", len(ids))
+	}
+}
+
+// TestMultiReadBatchThroughput is the PR's acceptance benchmark in test
+// form: batch-16 reads must deliver at least 2x the ops/sec of 16
+// sequential Read calls (same keys, same cluster, simulated time).
+func TestMultiReadBatchThroughput(t *testing.T) {
+	const rounds, batch = 50, 16
+	measure := func(batched bool) time.Duration {
+		sim := NewSimulation(Options{Servers: 4, Seed: 13})
+		table := sim.CreateTable("t")
+		sim.BulkLoad(table, 1000, 1024)
+		var elapsed time.Duration
+		sim.Spawn("reader", func(c *Client) {
+			start := c.Now()
+			for r := 0; r < rounds; r++ {
+				keys := make([][]byte, batch)
+				for i := range keys {
+					keys[i] = []byte(fmt.Sprintf("user%010d", (r*batch+i)%1000))
+				}
+				if batched {
+					for _, res := range c.MultiRead(table, keys...) {
+						if res.Err != nil || res.ValueLen != 1024 {
+							t.Errorf("multiread: len=%d err=%v", res.ValueLen, res.Err)
+							return
+						}
+					}
+				} else {
+					for _, key := range keys {
+						if n, err := c.ReadLen(table, key); err != nil || n != 1024 {
+							t.Errorf("read: n=%d err=%v", n, err)
+							return
+						}
+					}
+				}
+			}
+			elapsed = c.Now() - start
+		})
+		sim.Run()
+		return elapsed
+	}
+	seq := measure(false)
+	bat := measure(true)
+	if bat <= 0 || seq <= 0 {
+		t.Fatalf("durations: seq=%v batch=%v", seq, bat)
+	}
+	speedup := float64(seq) / float64(bat)
+	t.Logf("sequential %v, batch-16 %v, speedup %.1fx", seq, bat, speedup)
+	if speedup < 2 {
+		t.Fatalf("batch-16 speedup = %.2fx, want >= 2x", speedup)
+	}
+}
+
+// TestPublicAPIBatchedWorkload drives the batched and pipelined YCSB
+// modes end to end through the public surface.
+func TestPublicAPIBatchedWorkload(t *testing.T) {
+	sim := NewSimulation(Options{Servers: 4, Seed: 17})
+	table := sim.CreateTable("usertable")
+	sim.BulkLoad(table, 1000, 1024)
+	sim.Spawn("batched", func(c *Client) {
+		if err := c.RunWorkloadOpts(table, "a", WorkloadOptions{
+			Records: 1000, Requests: 2000, Seed: 1, BatchSize: 16,
+		}); err != nil {
+			t.Errorf("batched workload: %v", err)
+		}
+	})
+	sim.Spawn("pipelined", func(c *Client) {
+		if err := c.RunWorkloadOpts(table, "b", WorkloadOptions{
+			Records: 1000, Requests: 2000, Seed: 2, Window: 8,
+		}); err != nil {
+			t.Errorf("pipelined workload: %v", err)
+		}
+	})
+	sim.Run()
+	rep := sim.EnergyReport()
+	if rep.Ops != 4000 {
+		t.Fatalf("ops = %d, want 4000", rep.Ops)
+	}
+}
+
+// TestPublicAPIMultiWriteDurable checks batched writes survive a master
+// crash when replicated — MultiWrite is durable, not a consistency
+// shortcut.
+func TestPublicAPIMultiWriteDurable(t *testing.T) {
+	sim := NewSimulation(Options{Servers: 4, ReplicationFactor: 2, Seed: 19})
+	table := sim.CreateTable("t")
+	lost := 0
+	sim.Spawn("app", func(c *Client) {
+		ops := make([]WriteOp, 64)
+		for i := range ops {
+			ops[i] = WriteOp{Key: []byte(fmt.Sprintf("key%04d", i)), ValueLen: 512}
+		}
+		for _, err := range c.MultiWrite(table, ops) {
+			if err != nil {
+				t.Errorf("multiwrite: %v", err)
+				return
+			}
+		}
+		sim.KillServer(2)
+		for sim.RecoveryCount() == 0 {
+			c.Sleep(500 * time.Millisecond)
+			if c.Now() > 5*time.Minute {
+				t.Error("recovery never completed")
+				return
+			}
+		}
+		for i := range ops {
+			if n, err := c.ReadLen(table, ops[i].Key); err != nil || n != 512 {
+				lost++
+			}
+		}
+	})
+	sim.Run()
+	if lost != 0 {
+		t.Fatalf("%d records unreadable after crash", lost)
 	}
 }

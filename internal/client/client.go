@@ -9,7 +9,6 @@ import (
 	"errors"
 	"fmt"
 
-	"ramcloud/internal/hashtable"
 	"ramcloud/internal/metrics"
 	"ramcloud/internal/rpc"
 	"ramcloud/internal/sim"
@@ -35,6 +34,12 @@ type Config struct {
 	// (request generation, serialization, bookkeeping) of the YCSB client.
 	ReadOverhead   sim.Duration
 	UpdateOverhead sim.Duration
+
+	// BatchItemOverhead is the marginal client CPU per additional item in
+	// a MultiRead/MultiWrite batch (the first item pays the full per-op
+	// overhead). Batching amortizes request generation, which is why a
+	// batched client can exceed the paper's closed-loop per-client rate.
+	BatchItemOverhead sim.Duration
 }
 
 // DefaultConfig mirrors the calibrated YCSB client behaviour.
@@ -46,6 +51,7 @@ func DefaultConfig() Config {
 		MaxRetries:        400,
 		ReadOverhead:      33 * sim.Microsecond,
 		UpdateOverhead:    130 * sim.Microsecond,
+		BatchItemOverhead: 2 * sim.Microsecond,
 	}
 }
 
@@ -60,6 +66,11 @@ type Stats struct {
 	Retries      metrics.Counter
 	Failures     metrics.Counter
 	Ops          metrics.Counter
+
+	// Batch/async accounting.
+	BatchRPCs  metrics.Counter // multi-op RPCs issued
+	BatchedOps metrics.Counter // items completed through multi-op RPCs
+	AsyncOps   metrics.Counter // operations issued through the async API
 }
 
 // NewStats returns empty stats.
@@ -94,6 +105,11 @@ func (c *Client) Stats() *Stats { return c.stats }
 
 // Addr returns the client's fabric address.
 func (c *Client) Addr() simnet.NodeID { return c.ep.Node() }
+
+// SentRPCs returns the number of requests this client has issued on the
+// fabric (data plane and tablet-map refreshes alike). Tests use it to
+// assert batching actually collapses RPC counts.
+func (c *Client) SentRPCs() uint64 { return c.ep.Sent() }
 
 // CreateTable creates (or opens) a table spanning the given number of
 // servers.
@@ -157,139 +173,24 @@ func (c *Client) record(start sim.Time, hist *metrics.Histogram) {
 // in use). It retries through recoveries and server changes; the recorded
 // latency covers the whole operation, retries included.
 func (c *Client) Read(p *sim.Proc, table uint64, key []byte) (uint32, []byte, error) {
-	if c.cfg.ReadOverhead > 0 {
-		p.Sleep(c.cfg.ReadOverhead)
-	}
-	start := p.Now()
-	keyHash := hashtable.HashKey(table, key)
-	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
-		master, recovering, found := c.locate(table, keyHash)
-		if !found {
-			c.refreshTablets(p)
-			if _, _, again := c.locate(table, keyHash); !again {
-				return 0, nil, ErrNoTable
-			}
-			continue
-		}
-		if recovering {
-			p.Sleep(c.cfg.RecoveringBackoff)
-			c.refreshTablets(p)
-			continue
-		}
-		resp, ok := c.ep.CallTimeout(p, master, &wire.ReadReq{Table: table, Key: key}, c.cfg.RPCTimeout)
-		if !ok {
-			c.stats.Timeouts.Inc()
-			c.refreshTablets(p)
-			continue
-		}
-		m := resp.(*wire.ReadResp)
-		switch m.Status {
-		case wire.StatusOK:
-			c.record(start, c.stats.ReadLatency)
-			return m.ValueLen, m.Value, nil
-		case wire.StatusUnknownKey:
-			c.record(start, c.stats.ReadLatency)
-			return 0, nil, ErrNotFound
-		case wire.StatusWrongServer:
-			c.stats.Retries.Inc()
-			c.refreshTablets(p)
-		default:
-			c.stats.Retries.Inc()
-			p.Sleep(c.cfg.RetryBackoff)
-		}
-	}
-	c.stats.Failures.Inc()
-	return 0, nil, ErrUnavailable
+	var o Op
+	c.initOp(p, &o, opRead, table, key, 0, nil, c.cfg.ReadOverhead)
+	return o.Wait(p)
 }
 
 // Write stores a value (virtual when value is nil: only valueLen crosses
 // the simulated wire).
 func (c *Client) Write(p *sim.Proc, table uint64, key []byte, valueLen uint32, value []byte) error {
-	if c.cfg.UpdateOverhead > 0 {
-		p.Sleep(c.cfg.UpdateOverhead)
-	}
-	start := p.Now()
-	keyHash := hashtable.HashKey(table, key)
-	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
-		master, recovering, found := c.locate(table, keyHash)
-		if !found {
-			c.refreshTablets(p)
-			if _, _, again := c.locate(table, keyHash); !again {
-				return ErrNoTable
-			}
-			continue
-		}
-		if recovering {
-			p.Sleep(c.cfg.RecoveringBackoff)
-			c.refreshTablets(p)
-			continue
-		}
-		resp, ok := c.ep.CallTimeout(p, master, &wire.WriteReq{Table: table, Key: key, ValueLen: valueLen, Value: value}, c.cfg.RPCTimeout)
-		if !ok {
-			c.stats.Timeouts.Inc()
-			c.refreshTablets(p)
-			continue
-		}
-		m := resp.(*wire.WriteResp)
-		switch m.Status {
-		case wire.StatusOK:
-			c.record(start, c.stats.WriteLatency)
-			return nil
-		case wire.StatusWrongServer:
-			c.stats.Retries.Inc()
-			c.refreshTablets(p)
-		default:
-			c.stats.Retries.Inc()
-			p.Sleep(c.cfg.RetryBackoff)
-		}
-	}
-	c.stats.Failures.Inc()
-	return ErrUnavailable
+	var o Op
+	c.initOp(p, &o, opWrite, table, key, valueLen, value, c.cfg.UpdateOverhead)
+	_, _, err := o.Wait(p)
+	return err
 }
 
 // Delete removes a key.
 func (c *Client) Delete(p *sim.Proc, table uint64, key []byte) error {
-	if c.cfg.UpdateOverhead > 0 {
-		p.Sleep(c.cfg.UpdateOverhead)
-	}
-	start := p.Now()
-	keyHash := hashtable.HashKey(table, key)
-	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
-		master, recovering, found := c.locate(table, keyHash)
-		if !found {
-			c.refreshTablets(p)
-			if _, _, again := c.locate(table, keyHash); !again {
-				return ErrNoTable
-			}
-			continue
-		}
-		if recovering {
-			p.Sleep(c.cfg.RecoveringBackoff)
-			c.refreshTablets(p)
-			continue
-		}
-		resp, ok := c.ep.CallTimeout(p, master, &wire.DeleteReq{Table: table, Key: key}, c.cfg.RPCTimeout)
-		if !ok {
-			c.stats.Timeouts.Inc()
-			c.refreshTablets(p)
-			continue
-		}
-		m := resp.(*wire.DeleteResp)
-		switch m.Status {
-		case wire.StatusOK:
-			c.record(start, c.stats.WriteLatency)
-			return nil
-		case wire.StatusUnknownKey:
-			c.record(start, c.stats.WriteLatency)
-			return ErrNotFound
-		case wire.StatusWrongServer:
-			c.stats.Retries.Inc()
-			c.refreshTablets(p)
-		default:
-			c.stats.Retries.Inc()
-			p.Sleep(c.cfg.RetryBackoff)
-		}
-	}
-	c.stats.Failures.Inc()
-	return ErrUnavailable
+	var o Op
+	c.initOp(p, &o, opDelete, table, key, 0, nil, c.cfg.UpdateOverhead)
+	_, _, err := o.Wait(p)
+	return err
 }

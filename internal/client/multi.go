@@ -1,0 +1,279 @@
+package client
+
+import (
+	"ramcloud/internal/hashtable"
+	"ramcloud/internal/rpc"
+	"ramcloud/internal/sim"
+	"ramcloud/internal/simnet"
+	"ramcloud/internal/wire"
+)
+
+// This file implements multi-op batching: MultiRead and MultiWrite
+// partition a key batch by tablet owner and issue one RPC per involved
+// master (real RAMCloud's MultiRead/MultiWrite). Items that hit a moved
+// tablet or a timeout are retried individually while the rest of the batch
+// completes, so a split or crash mid-batch degrades to extra round trips,
+// never to wrong results.
+
+// MultiResult is one item's outcome in a MultiRead or MultiWrite batch.
+// Results are positional: result i answers keys[i] (or ops[i]).
+type MultiResult struct {
+	ValueLen uint32
+	Value    []byte // nil under virtual payloads
+	Version  uint64
+	Err      error
+}
+
+// MultiWriteOp is one write in a MultiWrite batch. Value may be nil for a
+// virtual payload of ValueLen declared bytes.
+type MultiWriteOp struct {
+	Key      []byte
+	ValueLen uint32
+	Value    []byte
+}
+
+// batchOverhead is the client CPU burned assembling an n-item multi-op
+// batch: the full per-op cost for the first item plus the marginal
+// BatchItemOverhead for each further item. This amortization is what lets
+// a batched client exceed the paper's per-client closed-loop ceiling.
+func (c *Client) batchOverhead(base sim.Duration, n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return base + sim.Duration(int64(c.cfg.BatchItemOverhead)*int64(n-1))
+}
+
+// resolveBatch maps each pending item index to its owning master,
+// refreshing the tablet map at most once for unknown tablets. Items that
+// stay unknown after the refresh fail through the fail callback (ErrNoTable
+// semantics of the single-op path). If any involved tablet is recovering,
+// the whole remainder backs off and retries: retry=true, consuming one
+// attempt, like the single-op recovery poll.
+//
+// Groups preserve first-contact order — no map iteration — so batch RPC
+// issue order is deterministic.
+func (c *Client) resolveBatch(p *sim.Proc, table uint64, hashes []uint64, pending []int, fail func(i int)) (masters []simnet.NodeID, groups [][]int, remaining []int, retry bool) {
+	remaining = pending
+	for pass := 0; ; pass++ {
+		unknown, recovering := false, false
+		for _, i := range remaining {
+			_, rec, found := c.locate(table, hashes[i])
+			if !found {
+				unknown = true
+			} else if rec {
+				recovering = true
+			}
+		}
+		if recovering {
+			p.Sleep(c.cfg.RecoveringBackoff)
+			c.refreshTablets(p)
+			return nil, nil, remaining, true
+		}
+		if !unknown {
+			break
+		}
+		if pass == 0 {
+			c.refreshTablets(p)
+			continue
+		}
+		// Still unknown after a refresh: fail those items, keep the rest.
+		kept := remaining[:0]
+		for _, i := range remaining {
+			if _, _, found := c.locate(table, hashes[i]); found {
+				kept = append(kept, i)
+			} else {
+				fail(i)
+			}
+		}
+		remaining = kept
+		break
+	}
+	for _, i := range remaining {
+		master, _, _ := c.locate(table, hashes[i])
+		g := -1
+		for j := range masters {
+			if masters[j] == master {
+				g = j
+				break
+			}
+		}
+		if g < 0 {
+			masters = append(masters, master)
+			groups = append(groups, nil)
+			g = len(masters) - 1
+		}
+		groups[g] = append(groups[g], i)
+	}
+	return masters, groups, remaining, false
+}
+
+// multiRound carries one attempt's retry bookkeeping between the shared
+// execution loop and the per-kind response handlers.
+type multiRound struct {
+	retry       []int // item indices to try again next attempt
+	needRefresh bool  // a timeout or WrongServer invalidated the tablet map
+	backoff     bool  // a retryable error asks for RetryBackoff
+}
+
+// fail marks item i for another attempt. wrongServer distinguishes the
+// refresh-the-map case from the plain-backoff case.
+func (r *multiRound) fail(i int, wrongServer bool) {
+	r.retry = append(r.retry, i)
+	if wrongServer {
+		r.needRefresh = true
+	} else {
+		r.backoff = true
+	}
+}
+
+// multiExec is the shared retry loop behind MultiRead and MultiWrite: it
+// resolves pending items to masters, issues one RPC per master per attempt
+// (in first-contact order), gathers the responses in the same order, and
+// retries whatever the handlers put back. issue builds and sends the
+// multi-op request for one group; handle distributes one response's items.
+func (c *Client) multiExec(p *sim.Proc, table uint64, hashes []uint64, out []MultiResult,
+	issue func(master simnet.NodeID, idx []int) rpc.Call,
+	handle func(resp wire.Message, idx []int, round *multiRound)) {
+	pending := make([]int, len(hashes))
+	for i := range pending {
+		pending[i] = i
+	}
+	for attempt := 0; attempt <= c.cfg.MaxRetries && len(pending) > 0; attempt++ {
+		masters, groups, remaining, retry := c.resolveBatch(p, table, hashes, pending, func(i int) {
+			out[i].Err = ErrNoTable
+		})
+		pending = remaining
+		if retry || len(pending) == 0 {
+			continue
+		}
+		calls := make([]rpc.Call, len(groups))
+		for g := range groups {
+			calls[g] = issue(masters[g], groups[g])
+			c.stats.BatchRPCs.Inc()
+		}
+		var round multiRound
+		for g := range calls {
+			resp, ok := calls[g].WaitTimeout(p, c.cfg.RPCTimeout)
+			if !ok {
+				c.stats.Timeouts.Inc()
+				round.needRefresh = true
+				round.retry = append(round.retry, groups[g]...)
+				continue
+			}
+			handle(resp, groups[g], &round)
+		}
+		// Refresh and backoff are independent, mirroring the single-op
+		// policy per item: WrongServer/timeout invalidates the map,
+		// retryable errors pace the next attempt.
+		if round.needRefresh {
+			c.refreshTablets(p)
+		}
+		if round.backoff && len(round.retry) > 0 {
+			p.Sleep(c.cfg.RetryBackoff)
+		}
+		pending = round.retry
+	}
+	for _, i := range pending {
+		out[i].Err = ErrUnavailable
+		c.stats.Failures.Inc()
+	}
+}
+
+// MultiRead fetches a batch of keys, issuing at most one RPC per involved
+// master per attempt. The returned slice is positional. Latency is
+// recorded per item, covering the whole batch operation from issue.
+func (c *Client) MultiRead(p *sim.Proc, table uint64, keys [][]byte) []MultiResult {
+	n := len(keys)
+	out := make([]MultiResult, n)
+	if n == 0 {
+		return out
+	}
+	if d := c.batchOverhead(c.cfg.ReadOverhead, n); d > 0 {
+		p.Sleep(d)
+	}
+	start := p.Now()
+	hashes := make([]uint64, n)
+	for i := range keys {
+		hashes[i] = hashtable.HashKey(table, keys[i])
+	}
+	c.multiExec(p, table, hashes, out,
+		func(master simnet.NodeID, idx []int) rpc.Call {
+			items := make([]wire.MultiReadItem, len(idx))
+			for j, i := range idx {
+				items[j] = wire.MultiReadItem{Table: table, Key: keys[i]}
+			}
+			return c.ep.StartCall(master, &wire.MultiReadReq{Items: items})
+		},
+		func(resp wire.Message, idx []int, round *multiRound) {
+			m, isMulti := resp.(*wire.MultiReadResp)
+			for j, i := range idx {
+				if !isMulti || j >= len(m.Items) {
+					round.fail(i, false)
+					continue
+				}
+				it := &m.Items[j]
+				switch it.Status {
+				case wire.StatusOK:
+					out[i] = MultiResult{ValueLen: it.ValueLen, Value: it.Value, Version: it.Version}
+					c.record(start, c.stats.ReadLatency)
+					c.stats.BatchedOps.Inc()
+				case wire.StatusUnknownKey:
+					out[i].Err = ErrNotFound
+					c.record(start, c.stats.ReadLatency)
+					c.stats.BatchedOps.Inc()
+				default:
+					c.stats.Retries.Inc()
+					round.fail(i, it.Status == wire.StatusWrongServer)
+				}
+			}
+		})
+	return out
+}
+
+// MultiWrite stores a batch of objects, issuing at most one RPC per
+// involved master per attempt. Each receiving master appends its share of
+// the batch under a single log-head acquisition and replicates it in one
+// fan-out per segment. The returned slice is positional; a nil Err means
+// that item is durably written.
+func (c *Client) MultiWrite(p *sim.Proc, table uint64, ops []MultiWriteOp) []MultiResult {
+	n := len(ops)
+	out := make([]MultiResult, n)
+	if n == 0 {
+		return out
+	}
+	if d := c.batchOverhead(c.cfg.UpdateOverhead, n); d > 0 {
+		p.Sleep(d)
+	}
+	start := p.Now()
+	hashes := make([]uint64, n)
+	for i := range ops {
+		hashes[i] = hashtable.HashKey(table, ops[i].Key)
+	}
+	c.multiExec(p, table, hashes, out,
+		func(master simnet.NodeID, idx []int) rpc.Call {
+			items := make([]wire.MultiWriteItem, len(idx))
+			for j, i := range idx {
+				items[j] = wire.MultiWriteItem{Table: table, Key: ops[i].Key, ValueLen: ops[i].ValueLen, Value: ops[i].Value}
+			}
+			return c.ep.StartCall(master, &wire.MultiWriteReq{Items: items})
+		},
+		func(resp wire.Message, idx []int, round *multiRound) {
+			m, isMulti := resp.(*wire.MultiWriteResp)
+			for j, i := range idx {
+				if !isMulti || j >= len(m.Items) {
+					round.fail(i, false)
+					continue
+				}
+				it := &m.Items[j]
+				if it.Status == wire.StatusOK {
+					out[i] = MultiResult{Version: it.Version}
+					c.record(start, c.stats.WriteLatency)
+					c.stats.BatchedOps.Inc()
+					continue
+				}
+				c.stats.Retries.Inc()
+				round.fail(i, it.Status == wire.StatusWrongServer)
+			}
+		})
+	return out
+}

@@ -141,6 +141,7 @@ func Experiments() []Experiment {
 		{ID: "consistency", Title: "Ablation: replication communication (Sec. IX.B)", Setup: "20 servers, A, RF 3: sync RPC vs async RPC vs one-sided RDMA", Run: runConsistencyAblation},
 		{ID: "scatter", Title: "Ablation: random scatter vs fixed backups", Setup: "9 servers, RF 2, recovery time", Run: runScatterAblation},
 		{ID: "dist", Title: "Extension: request distributions (Sec. X)", Setup: "10 servers, uniform vs zipfian", Run: runDistributionStudy},
+		{ID: "batch", Title: "Extension: multi-op batching and async pipelining", Setup: "10 servers, C and A, batch {1,4,16,64}, window {1,4,16}", Run: runBatchSweep},
 	}
 }
 
@@ -162,9 +163,10 @@ var (
 )
 
 func runMemo(s Scenario) *Result {
-	key := fmt.Sprintf("%s|srv%d|cl%d|rf%d|wl%s|rec%d|req%d|rate%g|seed%d|kill%d|idle%d|seg%d",
+	key := fmt.Sprintf("%s|srv%d|cl%d|rf%d|wl%s|rec%d|req%d|rate%g|seed%d|kill%d|idle%d|seg%d|bs%d|win%d",
 		s.Name, s.Servers, s.Clients, s.RF, s.Workload.Name, s.Workload.RecordCount,
-		s.RequestsPerClient, s.Rate, s.Seed, s.KillAfter, s.IdleSeconds, s.Profile.Server.Log.SegmentBytes)
+		s.RequestsPerClient, s.Rate, s.Seed, s.KillAfter, s.IdleSeconds, s.Profile.Server.Log.SegmentBytes,
+		s.BatchSize, s.Window)
 	memoMu.Lock()
 	if r, ok := memo[key]; ok {
 		memoMu.Unlock()

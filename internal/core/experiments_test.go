@@ -9,8 +9,8 @@ import (
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 25 {
-		t.Fatalf("experiments = %d, want 25", len(exps))
+	if len(exps) != 26 {
+		t.Fatalf("experiments = %d, want 26", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -21,6 +21,11 @@ type Scenario struct {
 	RequestsPerClient int
 	Rate              float64 // per-client throttle (ops/s); 0 = unthrottled
 
+	// BatchSize > 1 drives clients through MultiRead/MultiWrite batches;
+	// Window > 1 pipelines through the async API (see ycsb.RunOptions).
+	BatchSize int
+	Window    int
+
 	Seed int64
 
 	// KillAfter, when > 0, crashes one server at that simulated time.
@@ -109,10 +114,12 @@ func Run(s Scenario) *Result {
 			defer wg.Done()
 			p.Sleep(sim.Millisecond) // allow bring-up to settle
 			ycsb.RunClient(p, c, s.Workload, ycsb.RunOptions{
-				Table:    table,
-				Requests: s.RequestsPerClient,
-				Rate:     s.Rate,
-				Seed:     s.Seed + int64(i)*7919,
+				Table:     table,
+				Requests:  s.RequestsPerClient,
+				Rate:      s.Rate,
+				Seed:      s.Seed + int64(i)*7919,
+				BatchSize: s.BatchSize,
+				Window:    s.Window,
 			})
 		})
 	}

@@ -95,6 +95,51 @@ func (ep *Endpoint) AsyncCall(to simnet.NodeID, msg wire.Message) *sim.Future[wi
 	return f
 }
 
+// Call is one in-flight request issued with Start. Unlike the bare future
+// of AsyncCall it remembers its RPC id, so an abandoned call (timeout) can
+// drop its pending entry and a late response is discarded instead of
+// resolving a stale future.
+type Call struct {
+	ep *Endpoint
+	id uint64
+	f  *sim.Future[wire.Message]
+}
+
+// Start issues a request without blocking and returns a handle the caller
+// waits on later. This is the client-side async primitive: the send costs
+// no simulated time beyond NIC serialization, and the completion wakes
+// whichever proc is parked in Wait/WaitTimeout.
+func (ep *Endpoint) Start(to simnet.NodeID, msg wire.Message) *Call {
+	c := ep.StartCall(to, msg)
+	return &c
+}
+
+// StartCall is Start returning the handle by value, for callers that embed
+// it (the client's op core keeps its in-flight attempt allocation-free
+// this way).
+func (ep *Endpoint) StartCall(to simnet.NodeID, msg wire.Message) Call {
+	id, f := ep.send(to, msg)
+	return Call{ep: ep, id: id, f: f}
+}
+
+// Done reports whether the response has arrived.
+func (c *Call) Done() bool { return c.f.IsSet() }
+
+// Wait blocks until the response arrives. It never gives up; use
+// WaitTimeout when the peer may be dead.
+func (c *Call) Wait(p *sim.Proc) wire.Message { return c.f.Get(p) }
+
+// WaitTimeout blocks up to d for the response. On timeout the pending
+// entry is dropped so a late response is discarded, exactly like
+// CallTimeout.
+func (c *Call) WaitTimeout(p *sim.Proc, d sim.Duration) (wire.Message, bool) {
+	resp, ok := c.f.GetTimeout(p, d)
+	if !ok {
+		delete(c.ep.pending, c.id)
+	}
+	return resp, ok
+}
+
 // Call issues a request and blocks until the response arrives. It never
 // gives up; use CallTimeout when the peer may be dead.
 func (ep *Endpoint) Call(p *sim.Proc, to simnet.NodeID, msg wire.Message) wire.Message {
@@ -104,12 +149,8 @@ func (ep *Endpoint) Call(p *sim.Proc, to simnet.NodeID, msg wire.Message) wire.M
 // CallTimeout issues a request and waits up to d for the response. On
 // timeout the pending entry is dropped so a late response is discarded.
 func (ep *Endpoint) CallTimeout(p *sim.Proc, to simnet.NodeID, msg wire.Message, d sim.Duration) (wire.Message, bool) {
-	id, f := ep.send(to, msg)
-	resp, ok := f.GetTimeout(p, d)
-	if !ok {
-		delete(ep.pending, id)
-	}
-	return resp, ok
+	c := ep.StartCall(to, msg)
+	return c.WaitTimeout(p, d)
 }
 
 // Reply sends a response for an inbound request.

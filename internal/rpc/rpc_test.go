@@ -141,6 +141,59 @@ func TestAsyncCallFanOut(t *testing.T) {
 	}
 }
 
+func TestStartThenWait(t *testing.T) {
+	e, cl, srv := pair(t)
+	echoServer(e, srv, 5*sim.Microsecond)
+	var seq uint64
+	var issuedAt, doneAt sim.Time
+	e.Go("client", func(p *sim.Proc) {
+		call := cl.Start(2, &wire.PingReq{Seq: 42})
+		issuedAt = p.Now()
+		// The proc is free to do other work while the RPC is in flight.
+		p.Sleep(2 * sim.Microsecond)
+		if call.Done() {
+			t.Error("call done before the echo delay elapsed")
+		}
+		resp, ok := call.WaitTimeout(p, 10*sim.Millisecond)
+		doneAt = p.Now()
+		if !ok {
+			t.Error("call timed out")
+			return
+		}
+		seq = resp.(*wire.PingResp).Seq
+	})
+	e.Run()
+	e.Shutdown()
+	if seq != 42 {
+		t.Fatalf("seq = %d", seq)
+	}
+	if doneAt.Sub(issuedAt) < 5*sim.Microsecond {
+		t.Fatalf("completed in %v; echo delay not overlapped", doneAt.Sub(issuedAt))
+	}
+}
+
+func TestStartTimeoutDropsLateResponse(t *testing.T) {
+	e, cl, srv := pair(t)
+	echoServer(e, srv, 20*sim.Millisecond)
+	var first bool
+	var second bool
+	e.Go("client", func(p *sim.Proc) {
+		call := cl.Start(2, &wire.PingReq{Seq: 1})
+		_, first = call.WaitTimeout(p, 5*sim.Millisecond)
+		p.Sleep(30 * sim.Millisecond) // late response arrives and must be dropped
+		resp, ok := cl.CallTimeout(p, 2, &wire.PingReq{Seq: 2}, 100*sim.Millisecond)
+		second = ok && resp.(*wire.PingResp).Seq == 2
+	})
+	e.Run()
+	e.Shutdown()
+	if first {
+		t.Fatal("first call should have timed out")
+	}
+	if !second {
+		t.Fatal("second call should succeed with its own response")
+	}
+}
+
 func TestMustStatus(t *testing.T) {
 	if MustStatus(&wire.WriteResp{Status: wire.StatusOK}) != wire.StatusOK {
 		t.Fatal("wrong status")

@@ -141,6 +141,144 @@ func (s *Server) serveDelete(p *sim.Proc, req rpc.Request, m *wire.DeleteReq) {
 	s.ep.Reply(req, &wire.DeleteResp{Status: wire.StatusOK, Version: version})
 }
 
+// serveMultiRead services a read batch. The dispatch cost was paid once
+// for the whole RPC (that is the point of batching); the worker burns the
+// per-item read cost as one contiguous busy span, then answers every item.
+// Items this master does not own come back StatusWrongServer individually
+// so a tablet move mid-batch costs the client one regroup, not the batch.
+func (s *Server) serveMultiRead(p *sim.Proc, req rpc.Request, m *wire.MultiReadReq) {
+	items := make([]wire.MultiReadResult, len(m.Items))
+	hashes := make([]uint64, len(m.Items))
+	var cost sim.Duration
+	for i := range m.Items {
+		it := &m.Items[i]
+		hashes[i] = hashtable.HashKey(it.Table, it.Key)
+		if !s.ownsKey(it.Table, hashes[i]) {
+			s.stats.WrongServer.Inc()
+			items[i].Status = wire.StatusWrongServer
+			continue
+		}
+		cost += s.cfg.Costs.Read
+	}
+	s.busy(p, sim.Scale(cost, s.interference()))
+	for i := range m.Items {
+		if items[i].Status == wire.StatusWrongServer {
+			continue
+		}
+		it := &m.Items[i]
+		packed, ok := s.ht.Lookup(hashes[i], s.keyEq(it.Table, it.Key))
+		if !ok {
+			items[i].Status = wire.StatusUnknownKey
+			continue
+		}
+		e, err := s.log.Get(logstore.UnpackRef(packed))
+		if err != nil || e.Type != logstore.EntryObject {
+			items[i].Status = wire.StatusUnknownKey
+			continue
+		}
+		s.stats.ReadsOK.Inc()
+		items[i] = wire.MultiReadResult{
+			Status:   wire.StatusOK,
+			Version:  e.Version,
+			ValueLen: e.ValueLen,
+			Value:    e.Value,
+		}
+	}
+	s.ep.Reply(req, &wire.MultiReadResp{Status: wire.StatusOK, Items: items})
+}
+
+// serveMultiWrite services a write batch: every owned item is appended
+// under a single log-head acquisition (one contention tax for the whole
+// batch instead of one per op — the quadratic "nanoscheduling" cost of
+// Finding 2 is paid once), and replication fans out one RPC per backup per
+// touched segment carrying all of that segment's new objects.
+func (s *Server) serveMultiWrite(p *sim.Proc, req rpc.Request, m *wire.MultiWriteReq) {
+	items := make([]wire.MultiWriteResult, len(m.Items))
+	hashes := make([]uint64, len(m.Items))
+	var owned int
+	var cost sim.Duration
+	for i := range m.Items {
+		it := &m.Items[i]
+		hashes[i] = hashtable.HashKey(it.Table, it.Key)
+		if !s.ownsKey(it.Table, hashes[i]) {
+			s.stats.WrongServer.Inc()
+			items[i].Status = wire.StatusWrongServer
+			continue
+		}
+		owned++
+		cost += s.cfg.Costs.WriteBase + sim.Scale(s.cfg.Costs.PerKByte, float64(it.ValueLen)/1024)
+	}
+	if owned == 0 {
+		s.busy(p, sim.Scale(s.cfg.Costs.Read, s.interference()))
+		s.ep.Reply(req, &wire.MultiWriteResp{Status: wire.StatusOK, Items: items})
+		return
+	}
+	waiters := s.logMu.Waiters()
+	s.lockWithSpin(p, s.logMu)
+	cost += sim.Duration(int64(s.cfg.Costs.WriteContention) * int64(waiters*waiters))
+	s.busy(p, sim.Scale(cost, s.interference()))
+	if s.dead {
+		s.logMu.Unlock()
+		for i := range items {
+			if items[i].Status == 0 {
+				items[i].Status = wire.StatusError
+			}
+		}
+		// Like the single-op path: answer StatusError (the downed NIC drops
+		// the reply anyway, but the two paths stay symmetric).
+		s.ep.Reply(req, &wire.MultiWriteResp{Status: wire.StatusError, Items: items})
+		return
+	}
+	// Append every owned item, gathering replication objects per segment in
+	// append order.
+	var segOrder []uint64
+	segObjs := make(map[uint64][]wire.Object)
+	for i := range m.Items {
+		if items[i].Status == wire.StatusWrongServer {
+			continue
+		}
+		it := &m.Items[i]
+		s.nextVersion++
+		entry := logstore.Entry{
+			Type:     logstore.EntryObject,
+			Table:    it.Table,
+			KeyHash:  hashes[i],
+			Key:      it.Key,
+			ValueLen: it.ValueLen,
+			Value:    it.Value,
+			Version:  s.nextVersion,
+		}
+		if s.log.NeedsRoll(entry.StorageSize()) {
+			s.rollLocked(p)
+		}
+		ref, err := s.log.Append(entry)
+		if err != nil {
+			items[i].Status = wire.StatusError
+			continue
+		}
+		s.indexEntry(entry, ref)
+		items[i] = wire.MultiWriteResult{Status: wire.StatusOK, Version: entry.Version}
+		s.stats.WritesOK.Inc()
+		if s.cfg.ReplicationFactor > 0 {
+			if _, ok := segObjs[ref.Segment]; !ok {
+				segOrder = append(segOrder, ref.Segment)
+			}
+			segObjs[ref.Segment] = append(segObjs[ref.Segment], wire.Object{
+				Table:    it.Table,
+				KeyHash:  hashes[i],
+				Key:      it.Key,
+				ValueLen: it.ValueLen,
+				Version:  entry.Version,
+			})
+		}
+	}
+	s.logMu.Unlock()
+	for _, seg := range segOrder {
+		s.replicateBatch(p, seg, segObjs[seg])
+	}
+	s.ep.Reply(req, &wire.MultiWriteResp{Status: wire.StatusOK, Items: items})
+}
+
 // appendLocked runs the serialized section of the write path: contention-
 // inflated service cost, segment roll (with replica open/close), log
 // append and hash-table update. It returns the assigned version and the

@@ -213,7 +213,8 @@ func (s *Server) dispatchLoop(p *sim.Proc) {
 			return
 		}
 		switch m := req.Msg.(type) {
-		case *wire.ReadReq, *wire.WriteReq, *wire.DeleteReq:
+		case *wire.ReadReq, *wire.WriteReq, *wire.DeleteReq,
+			*wire.MultiReadReq, *wire.MultiWriteReq:
 			s.workQs[connWorker(req.From, len(s.workQs))].Push(req)
 		case *wire.RDMAWriteReq:
 			// One-sided RDMA write: the NIC deposits the objects into the
@@ -306,6 +307,10 @@ func (s *Server) serve(p *sim.Proc, req rpc.Request) {
 		s.serveWrite(p, req, m)
 	case *wire.DeleteReq:
 		s.serveDelete(p, req, m)
+	case *wire.MultiReadReq:
+		s.serveMultiRead(p, req, m)
+	case *wire.MultiWriteReq:
+		s.serveMultiWrite(p, req, m)
 	case *wire.OpenSegmentReq:
 		s.serveOpenSegment(p, req, m)
 	case *wire.ReplicateReq:

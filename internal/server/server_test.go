@@ -101,6 +101,69 @@ func TestServerWriteReadDeleteRPC(t *testing.T) {
 	}
 }
 
+// TestServerMultiOpRPC drives the batch handlers directly: a MultiWrite
+// batch appends everything under one lock (versions are consecutive), a
+// MultiRead returns every item, and non-owned keys fail per item with
+// WrongServer while the rest of the batch succeeds.
+func TestServerMultiOpRPC(t *testing.T) {
+	rig := newRig(t, 1, smallCfg(0))
+	srv := rig.servers[0].Addr()
+	var failures []string
+	rig.eng.Go("client", func(p *sim.Proc) {
+		items := []wire.MultiWriteItem{
+			{Table: 1, Key: []byte("a"), ValueLen: 100},
+			{Table: 1, Key: []byte("b"), ValueLen: 200},
+			{Table: 1, Key: []byte("c"), ValueLen: 300},
+		}
+		w := rig.client.Call(p, srv, &wire.MultiWriteReq{Items: items}).(*wire.MultiWriteResp)
+		for i, it := range w.Items {
+			if it.Status != wire.StatusOK {
+				failures = append(failures, "multiwrite item status")
+			}
+			if it.Version != uint64(i+1) {
+				failures = append(failures, "multiwrite versions not consecutive")
+			}
+		}
+		r := rig.client.Call(p, srv, &wire.MultiReadReq{Items: []wire.MultiReadItem{
+			{Table: 1, Key: []byte("b")},
+			{Table: 1, Key: []byte("missing")},
+			{Table: 1, Key: []byte("c")},
+		}}).(*wire.MultiReadResp)
+		if r.Items[0].Status != wire.StatusOK || r.Items[0].ValueLen != 200 {
+			failures = append(failures, "multiread item 0")
+		}
+		if r.Items[1].Status != wire.StatusUnknownKey {
+			failures = append(failures, "multiread missing key should be UNKNOWN_KEY")
+		}
+		if r.Items[2].Status != wire.StatusOK || r.Items[2].ValueLen != 300 {
+			failures = append(failures, "multiread item 2")
+		}
+
+		// Shrink ownership: "b" keys hash outside [0,10] with overwhelming
+		// likelihood, so a mixed batch must fail only the moved items.
+		rig.servers[0].DropTablets(1)
+		rig.servers[0].AssignTablet(wire.Tablet{Table: 1, StartHash: 0, EndHash: 10})
+		r2 := rig.client.Call(p, srv, &wire.MultiReadReq{Items: []wire.MultiReadItem{
+			{Table: 1, Key: []byte("b")},
+		}}).(*wire.MultiReadResp)
+		if r2.Status != wire.StatusOK || r2.Items[0].Status != wire.StatusWrongServer {
+			failures = append(failures, "moved item should be WRONG_SERVER per item")
+		}
+		rig.eng.Stop()
+	})
+	rig.eng.Run()
+	rig.eng.Shutdown()
+	for _, f := range failures {
+		t.Error(f)
+	}
+	if got := rig.servers[0].Stats().WritesOK.Value(); got != 3 {
+		t.Errorf("WritesOK = %d, want 3", got)
+	}
+	if got := rig.servers[0].Stats().ReadsOK.Value(); got != 2 {
+		t.Errorf("ReadsOK = %d, want 2", got)
+	}
+}
+
 func TestServerWrongServerStatus(t *testing.T) {
 	rig := newRig(t, 1, smallCfg(0))
 	rig.servers[0].DropTablets(1)

@@ -216,6 +216,40 @@ func Unmarshal(b []byte) (Envelope, error) {
 		msg = m
 	case OpRDMAWriteResp:
 		msg = &RDMAWriteResp{Status: Status(d.u8())}
+	case OpMultiReadReq:
+		m := &MultiReadReq{}
+		n := d.u32()
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			m.Items = append(m.Items, MultiReadItem{Table: d.u64(), Key: d.bytes()})
+		}
+		msg = m
+	case OpMultiReadResp:
+		m := &MultiReadResp{Status: Status(d.u8())}
+		n := d.u32()
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			it := MultiReadResult{Status: Status(d.u8()), Version: d.u64()}
+			it.Value = d.bytes()
+			it.ValueLen = uint32(len(it.Value))
+			m.Items = append(m.Items, it)
+		}
+		msg = m
+	case OpMultiWriteReq:
+		m := &MultiWriteReq{}
+		n := d.u32()
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			it := MultiWriteItem{Table: d.u64(), Key: d.bytes()}
+			it.Value = d.bytes()
+			it.ValueLen = uint32(len(it.Value))
+			m.Items = append(m.Items, it)
+		}
+		msg = m
+	case OpMultiWriteResp:
+		m := &MultiWriteResp{Status: Status(d.u8())}
+		n := d.u32()
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			m.Items = append(m.Items, MultiWriteResult{Status: Status(d.u8()), Version: d.u64()})
+		}
+		msg = m
 	default:
 		return Envelope{}, fmt.Errorf("%w: %d", ErrUnknownOp, op)
 	}

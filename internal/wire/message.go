@@ -80,6 +80,82 @@ func (m *DeleteResp) encodeBody(e *encoder) error {
 	return nil
 }
 
+func (*MultiReadReq) Op() Op { return OpMultiReadReq }
+func (m *MultiReadReq) WireSize() int {
+	body := 4
+	for i := range m.Items {
+		body += 8 + 4 + len(m.Items[i].Key)
+	}
+	return headerSize + body
+}
+func (m *MultiReadReq) encodeBody(e *encoder) error {
+	e.u32(uint32(len(m.Items)))
+	for i := range m.Items {
+		e.u64(m.Items[i].Table)
+		e.bytes(m.Items[i].Key)
+	}
+	return nil
+}
+
+func (*MultiReadResp) Op() Op { return OpMultiReadResp }
+func (m *MultiReadResp) WireSize() int {
+	body := 1 + 4
+	for i := range m.Items {
+		body += 1 + 8 + 4 + int(m.Items[i].ValueLen)
+	}
+	return headerSize + body
+}
+func (m *MultiReadResp) RespStatus() Status { return m.Status }
+func (m *MultiReadResp) encodeBody(e *encoder) error {
+	e.u8(uint8(m.Status))
+	e.u32(uint32(len(m.Items)))
+	for i := range m.Items {
+		it := &m.Items[i]
+		e.u8(uint8(it.Status))
+		e.u64(it.Version)
+		if err := encodeValue(e, it.ValueLen, it.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (*MultiWriteReq) Op() Op { return OpMultiWriteReq }
+func (m *MultiWriteReq) WireSize() int {
+	body := 4
+	for i := range m.Items {
+		body += 8 + 4 + len(m.Items[i].Key) + 4 + int(m.Items[i].ValueLen)
+	}
+	return headerSize + body
+}
+func (m *MultiWriteReq) encodeBody(e *encoder) error {
+	e.u32(uint32(len(m.Items)))
+	for i := range m.Items {
+		it := &m.Items[i]
+		e.u64(it.Table)
+		e.bytes(it.Key)
+		if err := encodeValue(e, it.ValueLen, it.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (*MultiWriteResp) Op() Op { return OpMultiWriteResp }
+func (m *MultiWriteResp) WireSize() int {
+	return headerSize + 1 + 4 + len(m.Items)*(1+8)
+}
+func (m *MultiWriteResp) RespStatus() Status { return m.Status }
+func (m *MultiWriteResp) encodeBody(e *encoder) error {
+	e.u8(uint8(m.Status))
+	e.u32(uint32(len(m.Items)))
+	for i := range m.Items {
+		e.u8(uint8(m.Items[i].Status))
+		e.u64(m.Items[i].Version)
+	}
+	return nil
+}
+
 // Coordinator control plane ------------------------------------------------
 
 func (*CreateTableReq) Op() Op          { return OpCreateTableReq }

@@ -58,6 +58,10 @@ const (
 	OpRecoveryDoneResp
 	OpRDMAWriteReq
 	OpRDMAWriteResp
+	OpMultiReadReq
+	OpMultiReadResp
+	OpMultiWriteReq
+	OpMultiWriteResp
 )
 
 // Status is the result code carried by every response.
@@ -177,6 +181,64 @@ type DeleteReq struct {
 type DeleteResp struct {
 	Status  Status
 	Version uint64
+}
+
+// MultiReadItem is one lookup in a MultiRead batch.
+type MultiReadItem struct {
+	Table uint64
+	Key   []byte
+}
+
+// MultiReadResult is one item's outcome in a MultiReadResp. Items are
+// positional: result i answers request item i.
+type MultiReadResult struct {
+	Status   Status
+	Version  uint64
+	ValueLen uint32
+	Value    []byte // nil when the payload is virtual
+}
+
+// MultiReadReq fetches a batch of objects in one RPC. The client partitions
+// a multi-read by tablet owner, so every item addresses (or is believed to
+// address) the receiving master; items that moved come back with
+// StatusWrongServer individually while the rest of the batch succeeds.
+type MultiReadReq struct {
+	Items []MultiReadItem
+}
+
+// MultiReadResp carries per-item results. Status is the RPC-level status;
+// per-item codes live in the items themselves.
+type MultiReadResp struct {
+	Status Status
+	Items  []MultiReadResult
+}
+
+// MultiWriteItem is one insert/overwrite in a MultiWrite batch.
+type MultiWriteItem struct {
+	Table    uint64
+	Key      []byte
+	ValueLen uint32
+	Value    []byte // nil when the payload is virtual
+}
+
+// MultiWriteResult is one item's outcome in a MultiWriteResp (positional).
+type MultiWriteResult struct {
+	Status  Status
+	Version uint64
+}
+
+// MultiWriteReq writes a batch of objects in one RPC. The whole batch is
+// appended under a single log-head acquisition and replicated in one
+// fan-out per segment, which is where batching recovers the throughput the
+// paper's per-op writes lose to contention.
+type MultiWriteReq struct {
+	Items []MultiWriteItem
+}
+
+// MultiWriteResp carries per-item results.
+type MultiWriteResp struct {
+	Status Status
+	Items  []MultiWriteResult
 }
 
 // Coordinator control plane ------------------------------------------------

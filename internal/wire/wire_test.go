@@ -56,6 +56,17 @@ func allMessages() []Message {
 		&RecoveryDoneResp{Status: StatusOK},
 		&RDMAWriteReq{Master: 1, Segment: 5, Objects: []Object{obj}},
 		&RDMAWriteResp{Status: StatusOK},
+		&MultiReadReq{Items: []MultiReadItem{
+			{Table: 1, Key: []byte("user1")}, {Table: 2, Key: []byte("user2")}}},
+		&MultiReadResp{Status: StatusOK, Items: []MultiReadResult{
+			{Status: StatusOK, Version: 3, ValueLen: 4, Value: []byte("data")},
+			{Status: StatusUnknownKey},
+			{Status: StatusWrongServer}}},
+		&MultiWriteReq{Items: []MultiWriteItem{
+			{Table: 1, Key: []byte("k1"), ValueLen: 3, Value: []byte("abc")},
+			{Table: 1, Key: []byte("k2")}}},
+		&MultiWriteResp{Status: StatusOK, Items: []MultiWriteResult{
+			{Status: StatusOK, Version: 7}, {Status: StatusWrongServer}}},
 	}
 }
 
@@ -114,7 +125,7 @@ func TestOpCoversAllMessages(t *testing.T) {
 		}
 		seen[op] = true
 	}
-	for op := OpReadReq; op <= OpRDMAWriteResp; op++ {
+	for op := OpReadReq; op <= OpMultiWriteResp; op++ {
 		if !seen[op] {
 			t.Errorf("opcode %d has no representative in allMessages", op)
 		}
@@ -254,6 +265,111 @@ func TestQuickReplicateRoundTrip(t *testing.T) {
 			if a.Table != b.Table || a.KeyHash != b.KeyHash || !bytes.Equal(a.Key, b.Key) ||
 				!bytes.Equal(a.Value, b.Value) || a.Version != b.Version || a.Tombstone != b.Tombstone {
 				t.Fatalf("object %d mismatch: %+v vs %+v", i, a, b)
+			}
+		}
+	}
+}
+
+// TestMultiOpVirtualValues checks the multi-op messages inherit the
+// virtual-payload contract: declared lengths count toward WireSize whether
+// or not bytes are carried, and marshaling a virtual value fails.
+func TestMultiOpVirtualValues(t *testing.T) {
+	real := &MultiWriteReq{Items: []MultiWriteItem{
+		{Table: 1, Key: []byte("k"), ValueLen: 1024, Value: make([]byte, 1024)}}}
+	virtual := &MultiWriteReq{Items: []MultiWriteItem{
+		{Table: 1, Key: []byte("k"), ValueLen: 1024, Value: nil}}}
+	if real.WireSize() != virtual.WireSize() {
+		t.Fatalf("virtual size %d != real size %d", virtual.WireSize(), real.WireSize())
+	}
+	if _, err := Marshal(Envelope{Msg: virtual}); !errors.Is(err, ErrVirtualValue) {
+		t.Fatalf("MultiWriteReq marshal err = %v, want ErrVirtualValue", err)
+	}
+
+	realResp := &MultiReadResp{Status: StatusOK, Items: []MultiReadResult{
+		{Status: StatusOK, ValueLen: 512, Value: make([]byte, 512)}}}
+	virtualResp := &MultiReadResp{Status: StatusOK, Items: []MultiReadResult{
+		{Status: StatusOK, ValueLen: 512, Value: nil}}}
+	if realResp.WireSize() != virtualResp.WireSize() {
+		t.Fatalf("virtual resp size %d != real %d", virtualResp.WireSize(), realResp.WireSize())
+	}
+	if _, err := Marshal(Envelope{Msg: virtualResp}); !errors.Is(err, ErrVirtualValue) {
+		t.Fatalf("MultiReadResp marshal err = %v, want ErrVirtualValue", err)
+	}
+}
+
+// TestMultiOpPerItemStatuses round-trips a mixed batch of per-item codes
+// (the WrongServer-mid-batch case the client's retry loop depends on).
+func TestMultiOpPerItemStatuses(t *testing.T) {
+	resp := &MultiReadResp{Status: StatusOK, Items: []MultiReadResult{
+		{Status: StatusOK, Version: 1, ValueLen: 2, Value: []byte("ab")},
+		{Status: StatusWrongServer},
+		{Status: StatusUnknownKey},
+		{Status: StatusOK, Version: 4},
+	}}
+	b, err := Marshal(Envelope{RPCID: 9, Msg: resp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.Msg.(*MultiReadResp)
+	if len(m.Items) != 4 {
+		t.Fatalf("items = %d", len(m.Items))
+	}
+	want := []Status{StatusOK, StatusWrongServer, StatusUnknownKey, StatusOK}
+	for i, st := range want {
+		if m.Items[i].Status != st {
+			t.Errorf("item %d status = %v, want %v", i, m.Items[i].Status, st)
+		}
+	}
+	if m.Items[0].Version != 1 || string(m.Items[0].Value) != "ab" {
+		t.Fatalf("item 0 = %+v", m.Items[0])
+	}
+
+	wresp := &MultiWriteResp{Status: StatusOK, Items: []MultiWriteResult{
+		{Status: StatusOK, Version: 10}, {Status: StatusError}, {Status: StatusOK, Version: 12},
+	}}
+	b, err = Marshal(Envelope{RPCID: 10, Msg: wresp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := got.Msg.(*MultiWriteResp)
+	if len(wm.Items) != 3 || wm.Items[1].Status != StatusError || wm.Items[2].Version != 12 {
+		t.Fatalf("write items = %+v", wm.Items)
+	}
+}
+
+func TestQuickMultiReadReqRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		var items []MultiReadItem
+		for i := 0; i < rng.Intn(8); i++ {
+			key := make([]byte, 1+rng.Intn(20))
+			rng.Read(key)
+			items = append(items, MultiReadItem{Table: rng.Uint64(), Key: key})
+		}
+		env := Envelope{RPCID: rng.Uint64(), Msg: &MultiReadReq{Items: items}}
+		b, err := Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := got.Msg.(*MultiReadReq)
+		if len(m.Items) != len(items) {
+			t.Fatalf("items = %d, want %d", len(m.Items), len(items))
+		}
+		for i := range items {
+			if m.Items[i].Table != items[i].Table || !bytes.Equal(m.Items[i].Key, items[i].Key) {
+				t.Fatalf("item %d mismatch", i)
 			}
 		}
 	}

@@ -5,7 +5,11 @@ import (
 	"math/rand"
 	"testing"
 
+	"ramcloud/internal/client"
+	"ramcloud/internal/rpc"
 	"ramcloud/internal/sim"
+	"ramcloud/internal/simnet"
+	"ramcloud/internal/wire"
 )
 
 func TestCoreWorkloadMixes(t *testing.T) {
@@ -134,6 +138,130 @@ func TestThrottleNilIsUnlimited(t *testing.T) {
 	e.Run()
 	if done != 0 {
 		t.Fatalf("unthrottled waits consumed time: %v", done)
+	}
+}
+
+// fakeStore is a single scripted master + coordinator pair able to serve
+// every data-plane RPC shape the driver can produce.
+type fakeStore struct {
+	eng    *sim.Engine
+	net    *simnet.Network
+	coord  *rpc.Endpoint
+	master *rpc.Endpoint
+
+	dataRPCs int
+}
+
+func newFakeStore(t *testing.T) *fakeStore {
+	t.Helper()
+	eng := sim.New(1)
+	net := simnet.New(eng, simnet.DefaultConfig())
+	f := &fakeStore{
+		eng:    eng,
+		net:    net,
+		coord:  rpc.NewEndpoint(eng, net, simnet.NodeID(-1)),
+		master: rpc.NewEndpoint(eng, net, simnet.NodeID(1)),
+	}
+	tablets := []wire.Tablet{{Table: 1, StartHash: 0, EndHash: ^uint64(0), Master: 1}}
+	eng.Go("store-coord", func(p *sim.Proc) {
+		for {
+			req := f.coord.Inbound.Pop(p)
+			if _, ok := req.Msg.(*wire.GetTabletMapReq); ok {
+				f.coord.Reply(req, &wire.GetTabletMapResp{Status: wire.StatusOK, Tablets: tablets})
+			}
+		}
+	})
+	eng.Go("store-master", func(p *sim.Proc) {
+		for {
+			req := f.master.Inbound.Pop(p)
+			f.dataRPCs++
+			p.Sleep(2 * sim.Microsecond) // fixed service time
+			switch m := req.Msg.(type) {
+			case *wire.ReadReq:
+				f.master.Reply(req, &wire.ReadResp{Status: wire.StatusOK, Version: 1, ValueLen: 1024})
+			case *wire.WriteReq:
+				f.master.Reply(req, &wire.WriteResp{Status: wire.StatusOK, Version: 1})
+			case *wire.MultiReadReq:
+				items := make([]wire.MultiReadResult, len(m.Items))
+				for i := range items {
+					items[i] = wire.MultiReadResult{Status: wire.StatusOK, Version: 1, ValueLen: 1024}
+				}
+				f.master.Reply(req, &wire.MultiReadResp{Status: wire.StatusOK, Items: items})
+			case *wire.MultiWriteReq:
+				items := make([]wire.MultiWriteResult, len(m.Items))
+				for i := range items {
+					items[i] = wire.MultiWriteResult{Status: wire.StatusOK, Version: 1}
+				}
+				f.master.Reply(req, &wire.MultiWriteResp{Status: wire.StatusOK, Items: items})
+			}
+		}
+	})
+	return f
+}
+
+func (f *fakeStore) newClient() *client.Client {
+	cfg := client.DefaultConfig()
+	cfg.RPCTimeout = 50 * sim.Millisecond
+	return client.New(f.eng, f.net, simnet.NodeID(100), f.coord.Node(), cfg)
+}
+
+// TestRunClientBatched checks the batched driver completes every request
+// through multi-op RPCs and collapses the RPC count.
+func TestRunClientBatched(t *testing.T) {
+	f := newFakeStore(t)
+	c := f.newClient()
+	var res RunResult
+	f.eng.Go("driver", func(p *sim.Proc) {
+		res = RunClient(p, c, WorkloadA(1000, 1024), RunOptions{
+			Table: 1, Requests: 200, Seed: 3, BatchSize: 16,
+		})
+		f.eng.Stop()
+	})
+	f.eng.Run()
+	f.eng.Shutdown()
+	if res.Reads+res.Updates != 200 || res.Errors != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if got := c.Stats().Ops.Value(); got != 200 {
+		t.Fatalf("ops = %d", got)
+	}
+	// 200 ops in batches of 16 split read/write: at most 2 RPCs per batch
+	// iteration (13 iterations), far below 200.
+	if f.dataRPCs >= 50 {
+		t.Fatalf("batched run issued %d data RPCs for 200 ops", f.dataRPCs)
+	}
+	if c.Stats().BatchedOps.Value() != 200 {
+		t.Fatalf("BatchedOps = %d", c.Stats().BatchedOps.Value())
+	}
+}
+
+// TestRunClientPipelined checks the windowed async driver completes every
+// request and beats the closed loop in simulated time.
+func TestRunClientPipelined(t *testing.T) {
+	run := func(window int) (RunResult, sim.Duration) {
+		f := newFakeStore(t)
+		c := f.newClient()
+		var res RunResult
+		f.eng.Go("driver", func(p *sim.Proc) {
+			res = RunClient(p, c, WorkloadC(1000, 1024), RunOptions{
+				Table: 1, Requests: 300, Seed: 5, Window: window,
+			})
+			f.eng.Stop()
+		})
+		f.eng.Run()
+		f.eng.Shutdown()
+		return res, res.Duration
+	}
+	closedRes, closedD := run(0)
+	pipeRes, pipeD := run(8)
+	if closedRes.Errors != 0 || pipeRes.Errors != 0 {
+		t.Fatalf("errors: closed=%d pipe=%d", closedRes.Errors, pipeRes.Errors)
+	}
+	if pipeRes.Reads != 300 {
+		t.Fatalf("pipelined reads = %d", pipeRes.Reads)
+	}
+	if pipeD >= closedD {
+		t.Fatalf("pipelined run (%v) not faster than closed loop (%v)", pipeD, closedD)
 	}
 }
 

@@ -49,7 +49,13 @@ var (
 	ErrNotFound = client.ErrNotFound
 	// ErrUnavailable reports an operation that exhausted its retries.
 	ErrUnavailable = client.ErrUnavailable
+	// ErrNoTable reports an operation against a table the cluster does not
+	// know (an invalid Table handle).
+	ErrNoTable = client.ErrNoTable
 )
+
+// ErrUnknownExperiment reports an invalid experiment id.
+var ErrUnknownExperiment = errors.New("ramcloud: unknown experiment")
 
 // Options configures a simulated cluster.
 type Options struct {
@@ -216,6 +222,110 @@ func (c *Client) Delete(table Table, key []byte) error {
 	return c.c.Delete(c.p, uint64(table), key)
 }
 
+// Multi-op batching ---------------------------------------------------------
+
+// MultiReadResult is one key's outcome in a MultiRead. Results are
+// positional: result i answers keys[i].
+type MultiReadResult struct {
+	Value    []byte // nil under virtual payloads
+	ValueLen int    // declared length, always valid
+	Version  uint64
+	Err      error // nil, ErrNotFound, ErrNoTable, or ErrUnavailable
+}
+
+// MultiRead fetches a batch of keys in at most one RPC per involved
+// master — RAMCloud's MultiRead. Batching amortizes client request
+// generation and server dispatch, so a batched client can far exceed the
+// per-op closed-loop rate (see the "batch" experiment).
+func (c *Client) MultiRead(table Table, keys ...[]byte) []MultiReadResult {
+	rs := c.c.MultiRead(c.p, uint64(table), keys)
+	out := make([]MultiReadResult, len(rs))
+	for i, r := range rs {
+		out[i] = MultiReadResult{Value: r.Value, ValueLen: int(r.ValueLen), Version: r.Version, Err: r.Err}
+	}
+	return out
+}
+
+// WriteOp is one write in a MultiWrite batch. Leave Value nil and set
+// ValueLen for a virtual payload.
+type WriteOp struct {
+	Key      []byte
+	Value    []byte
+	ValueLen int // used when Value is nil; otherwise len(Value) wins
+}
+
+// MultiWrite stores a batch of objects in at most one RPC per involved
+// master. Each master appends its share under a single log-head
+// acquisition and replicates it in one fan-out per segment. The returned
+// slice is positional; a nil error means that item is durably written.
+func (c *Client) MultiWrite(table Table, ops []WriteOp) []error {
+	items := make([]client.MultiWriteOp, len(ops))
+	for i, op := range ops {
+		vl := uint32(op.ValueLen)
+		if op.Value != nil {
+			vl = uint32(len(op.Value))
+		}
+		items[i] = client.MultiWriteOp{Key: op.Key, ValueLen: vl, Value: op.Value}
+	}
+	rs := c.c.MultiWrite(c.p, uint64(table), items)
+	out := make([]error, len(rs))
+	for i, r := range rs {
+		out[i] = r.Err
+	}
+	return out
+}
+
+// Asynchronous operations ---------------------------------------------------
+
+// Future is a pending asynchronous operation. The RPC is already in
+// flight; Wait blocks until it completes, driving retries exactly like the
+// synchronous methods. A client may keep many futures outstanding to
+// pipeline round trips.
+type Future struct {
+	c  *Client
+	op *client.Op
+}
+
+// ReadAsync issues a read without waiting and returns its future.
+func (c *Client) ReadAsync(table Table, key []byte) *Future {
+	return &Future{c: c, op: c.c.ReadAsync(c.p, uint64(table), key)}
+}
+
+// WriteAsync issues a write without waiting for durability.
+func (c *Client) WriteAsync(table Table, key, value []byte) *Future {
+	return &Future{c: c, op: c.c.WriteAsync(c.p, uint64(table), key, uint32(len(value)), value)}
+}
+
+// WriteLenAsync issues a virtual-payload write without waiting.
+func (c *Client) WriteLenAsync(table Table, key []byte, valueLen int) *Future {
+	return &Future{c: c, op: c.c.WriteAsync(c.p, uint64(table), key, uint32(valueLen), nil)}
+}
+
+// DeleteAsync issues a delete without waiting.
+func (c *Client) DeleteAsync(table Table, key []byte) *Future {
+	return &Future{c: c, op: c.c.DeleteAsync(c.p, uint64(table), key)}
+}
+
+// Done reports whether the operation's current attempt has its response.
+// It is a readiness hint: Wait usually returns immediately once Done is
+// true, but a retryable response (a moved tablet, a busy server) still
+// makes Wait drive further attempts before returning.
+func (f *Future) Done() bool { return f.op.Done() }
+
+// Wait blocks until the operation completes. For reads it returns the
+// value bytes (nil under virtual payloads); for writes and deletes, nil.
+func (f *Future) Wait() ([]byte, error) {
+	_, v, err := f.op.Wait(f.c.p)
+	return v, err
+}
+
+// WaitLen blocks until the operation completes and returns a read's
+// declared value length without materializing bytes.
+func (f *Future) WaitLen() (int, error) {
+	n, _, err := f.op.Wait(f.c.p)
+	return int(n), err
+}
+
 // Sleep pauses the client for a span of virtual time.
 func (c *Client) Sleep(d time.Duration) { c.p.Sleep(sim.Duration(d)) }
 
@@ -228,15 +338,43 @@ func (c *Client) Stats() *client.Stats { return c.c.Stats() }
 // RunWorkload drives this client through a YCSB workload: n requests of
 // the given mix against the table, optionally throttled to rate ops/s.
 func (c *Client) RunWorkload(table Table, workload string, records, requests int, rate float64, seed int64) error {
-	w, err := ycsb.ByName(workload, records, 1024)
+	return c.RunWorkloadOpts(table, workload, WorkloadOptions{
+		Records: records, Requests: requests, Rate: rate, Seed: seed,
+	})
+}
+
+// WorkloadOptions tunes RunWorkloadOpts beyond the paper's closed loop.
+type WorkloadOptions struct {
+	Records    int
+	Requests   int
+	RecordSize int     // value bytes per record; default 1024 (the paper's)
+	Rate       float64 // client-side throttle in ops/s; 0 = unthrottled
+	Seed       int64
+
+	// BatchSize > 1 groups ops into MultiRead/MultiWrite batches (YCSB's
+	// multiget mode); Window > 1 pipelines through the async API instead.
+	BatchSize int
+	Window    int
+}
+
+// RunWorkloadOpts drives this client through a YCSB workload with batched
+// or pipelined request issue (see WorkloadOptions).
+func (c *Client) RunWorkloadOpts(table Table, workload string, opts WorkloadOptions) error {
+	size := opts.RecordSize
+	if size <= 0 {
+		size = 1024
+	}
+	w, err := ycsb.ByName(workload, opts.Records, size)
 	if err != nil {
 		return err
 	}
 	res := ycsb.RunClient(c.p, c.c, w, ycsb.RunOptions{
-		Table:    uint64(table),
-		Requests: requests,
-		Rate:     rate,
-		Seed:     seed,
+		Table:     uint64(table),
+		Requests:  opts.Requests,
+		Rate:      opts.Rate,
+		Seed:      opts.Seed,
+		BatchSize: opts.BatchSize,
+		Window:    opts.Window,
 	})
 	if res.Errors > 0 {
 		return fmt.Errorf("ramcloud: workload finished with %d errors: %w", res.Errors, ErrUnavailable)
@@ -262,11 +400,8 @@ func ExperimentIDs() []string {
 func RunExperiment(id string, scale float64, seed int64) (string, error) {
 	e, ok := core.ByID(id)
 	if !ok {
-		return "", fmt.Errorf("ramcloud: unknown experiment %q (see ExperimentIDs)", id)
+		return "", fmt.Errorf("%w: %q (see ExperimentIDs)", ErrUnknownExperiment, id)
 	}
 	res := e.Run(core.Options{Scale: scale, Seed: seed})
 	return res.Render(), nil
 }
-
-// ErrUnknownExperiment reports an invalid experiment id.
-var ErrUnknownExperiment = errors.New("ramcloud: unknown experiment")
