@@ -163,10 +163,5 @@ func (c *Cluster) LiveBytesOn(i int) int64 {
 
 // EnergyReport aggregates PDU data over seconds [from, to).
 func (c *Cluster) EnergyReport(from, to int, ops int64) energy.Report {
-	rep := energy.Report{Ops: ops}
-	for _, pdu := range c.PDUs {
-		rep.PerNodeWatts = append(rep.PerNodeWatts, pdu.MeanWatts(from, to))
-		rep.TotalJoules += pdu.Watts().Sum(from, to)
-	}
-	return rep
+	return energy.WindowReport(c.PDUs, from, to, ops)
 }

@@ -105,49 +105,60 @@ func (r *ExpResult) Render() string {
 	return b.String()
 }
 
-// Experiment regenerates one of the paper's tables or figures.
+// Experiment regenerates one of the paper's tables or figures, or an
+// extension registered on top of them.
 type Experiment struct {
 	ID    string
 	Title string
 	Setup string
+	// Order fixes the experiment's position in Experiments(): the paper's
+	// artifacts use 10, 20, ... in paper order, so extensions can slot
+	// anywhere without renumbering. Ties break by registration order.
+	Order int
 	Run   func(Options) *ExpResult
 }
 
-// Experiments returns every experiment in paper order.
-func Experiments() []Experiment {
-	return []Experiment{
-		{ID: "fig1a", Title: "Aggregated read-only throughput vs cluster size", Setup: "workload C, RF 0, servers {1,5,10} x clients {1,10,30}", Run: runFig1a},
-		{ID: "fig1b", Title: "Average power per server (read-only)", Setup: "same grid as fig1a", Run: runFig1b},
-		{ID: "fig2", Title: "Energy efficiency (op/J) of read-only runs", Setup: "same grid as fig1a", Run: runFig2},
-		{ID: "table1", Title: "Min-max CPU usage per node (read-only)", Setup: "servers {1,5,10} x clients {0..5,10,30}", Run: runTable1},
-		{ID: "table2", Title: "Throughput of workloads A/B/C on 10 servers", Setup: "RF 0, 100K records, clients {10..90}", Run: runTable2},
-		{ID: "fig3", Title: "Scalability factor vs 10-client baseline", Setup: "derived from table2", Run: runFig3},
-		{ID: "fig4a", Title: "Average power per node, 20 servers", Setup: "A/B/C x clients {10..90}", Run: runFig4a},
-		{ID: "fig4b", Title: "Total energy at 90 clients by workload", Setup: "20 servers", Run: runFig4b},
-		{ID: "fig5", Title: "Throughput vs replication factor, 20 servers", Setup: "update-heavy A, RF {1..4} x clients {10,30,60}", Run: runFig5},
-		{ID: "fig6a", Title: "Throughput vs servers and RF, 60 clients", Setup: "A, servers {10..40} x RF {1..4}", Run: runFig6a},
-		{ID: "fig6b", Title: "Total energy vs servers and RF, 60 clients", Setup: "same grid as fig6a", Run: runFig6b},
-		{ID: "fig7", Title: "Average power vs RF, 40 servers, 60 clients", Setup: "A", Run: runFig7},
-		{ID: "fig8", Title: "Energy efficiency vs RF, {20,30,40} servers", Setup: "A, 60 clients", Run: runFig8},
-		{ID: "fig9a", Title: "CPU usage around a crash (10 idle servers)", Setup: "RF 4, 10M records (scaled), kill at 15s", Run: runFig9a},
-		{ID: "fig9b", Title: "Power around a crash (10 idle servers)", Setup: "same run as fig9a", Run: runFig9b},
-		{ID: "fig10", Title: "Client latency across a crash", Setup: "client 1 targets lost data, client 2 live data", Run: runFig10},
-		{ID: "fig11a", Title: "Recovery time vs replication factor", Setup: "9 servers, ~1/9 of data per server, RF {1..5}", Run: runFig11a},
-		{ID: "fig11b", Title: "Per-node energy during recovery vs RF", Setup: "same grid as fig11a", Run: runFig11b},
-		{ID: "fig12", Title: "Aggregate disk I/O during recovery", Setup: "9 servers, RF 3", Run: runFig12},
-		{ID: "fig13", Title: "Throttled clients avoid collapse", Setup: "10 servers, RF 2, A, rate {200,500} op/s", Run: runFig13},
-		{ID: "seg", Title: "Segment-size sweep (Sec. IX): recovery time", Setup: "9 servers, RF 2, segment {1..32} MB", Run: runSegSweep},
-		{ID: "cleaner", Title: "Ablation: log cleaner under memory pressure", Setup: "4 servers, RF 0, log sized to force cleaning", Run: runCleanerAblation},
-		{ID: "consistency", Title: "Ablation: replication communication (Sec. IX.B)", Setup: "20 servers, A, RF 3: sync RPC vs async RPC vs one-sided RDMA", Run: runConsistencyAblation},
-		{ID: "scatter", Title: "Ablation: random scatter vs fixed backups", Setup: "9 servers, RF 2, recovery time", Run: runScatterAblation},
-		{ID: "dist", Title: "Extension: request distributions (Sec. X)", Setup: "10 servers, uniform vs zipfian", Run: runDistributionStudy},
-		{ID: "batch", Title: "Extension: multi-op batching and async pipelining", Setup: "10 servers, C and A, batch {1,4,16,64}, window {1,4,16}", Run: runBatchSweep},
+// The experiment registry. Each experiments_*.go file registers its
+// entries from init(), so adding an experiment is one Register call in
+// the file that implements it — no central list to edit.
+var (
+	regMu    sync.Mutex
+	registry []Experiment
+)
+
+// Register adds an experiment to the registry. It panics on a duplicate
+// or incomplete registration — both are programming errors caught at
+// process start because all registration happens in init().
+func Register(e Experiment) {
+	if e.ID == "" || e.Title == "" || e.Run == nil {
+		panic(fmt.Sprintf("core: incomplete experiment registration %+v", e))
 	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, have := range registry {
+		if have.ID == e.ID {
+			panic(fmt.Sprintf("core: duplicate experiment id %q", e.ID))
+		}
+	}
+	registry = append(registry, e)
+}
+
+// Experiments returns every registered experiment in paper order
+// (ascending Order, stable on ties).
+func Experiments() []Experiment {
+	regMu.Lock()
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	regMu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Order < out[j].Order })
+	return out
 }
 
 // ByID finds an experiment.
 func ByID(id string) (Experiment, bool) {
-	for _, e := range Experiments() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, e := range registry {
 		if e.ID == id {
 			return e, true
 		}
@@ -163,10 +174,12 @@ var (
 )
 
 func runMemo(s Scenario) *Result {
-	key := fmt.Sprintf("%s|srv%d|cl%d|rf%d|wl%s|rec%d|req%d|rate%g|seed%d|kill%d|idle%d|seg%d|bs%d|win%d",
-		s.Name, s.Servers, s.Clients, s.RF, s.Workload.Name, s.Workload.RecordCount,
-		s.RequestsPerClient, s.Rate, s.Seed, s.KillAfter, s.IdleSeconds, s.Profile.Server.Log.SegmentBytes,
-		s.BatchSize, s.Window)
+	// The key is the fully rendered scenario — every field, including
+	// KillTarget, Deadline, groups, phases and the whole Profile — so two
+	// scenarios differing anywhere never share a memoized Result. (An
+	// earlier hand-picked field list silently conflated scenarios that
+	// differed only in omitted fields.)
+	key := fmt.Sprintf("%+v", s)
 	memoMu.Lock()
 	if r, ok := memo[key]; ok {
 		memoMu.Unlock()

@@ -13,6 +13,10 @@ import (
 // speed and energy efficiency) and Niemann's observation that workload
 // shape dominates the energy picture.
 
+func init() {
+	Register(Experiment{ID: "batch", Order: 260, Title: "Extension: multi-op batching and async pipelining", Setup: "10 servers, C and A, batch {1,4,16,64}, window {1,4,16}", Run: runBatchSweep})
+}
+
 var batchSizes = []int{1, 4, 16, 64}
 var windowSizes = []int{1, 4, 16}
 

@@ -10,6 +10,17 @@ import (
 // This file regenerates the read-only characterization: Fig. 1a/1b,
 // Fig. 2 and Table I (Section IV of the paper).
 
+func init() {
+	Register(Experiment{ID: "fig1a", Order: 10, Title: "Aggregated read-only throughput vs cluster size", Setup: "workload C, RF 0, servers {1,5,10} x clients {1,10,30}", Run: runFig1a})
+	Register(Experiment{ID: "fig1b", Order: 20, Title: "Average power per server (read-only)", Setup: "same grid as fig1a", Run: runFig1b})
+	Register(Experiment{ID: "fig2", Order: 30, Title: "Energy efficiency (op/J) of read-only runs", Setup: "same grid as fig1a", Run: runFig2})
+	Register(Experiment{ID: "table1", Order: 40, Title: "Min-max CPU usage per node (read-only)", Setup: "servers {1,5,10} x clients {0..5,10,30}", Run: runTable1})
+	Register(Experiment{ID: "table2", Order: 50, Title: "Throughput of workloads A/B/C on 10 servers", Setup: "RF 0, 100K records, clients {10..90}", Run: runTable2})
+	Register(Experiment{ID: "fig3", Order: 60, Title: "Scalability factor vs 10-client baseline", Setup: "derived from table2", Run: runFig3})
+	Register(Experiment{ID: "fig4a", Order: 70, Title: "Average power per node, 20 servers", Setup: "A/B/C x clients {10..90}", Run: runFig4a})
+	Register(Experiment{ID: "fig4b", Order: 80, Title: "Total energy at 90 clients by workload", Setup: "20 servers", Run: runFig4b})
+}
+
 var fig1Servers = []int{1, 5, 10}
 var fig1Clients = []int{1, 10, 30}
 

@@ -12,6 +12,18 @@ import (
 // This file regenerates the crash-recovery study (Section VII): Figs. 9-12,
 // the Section IX segment-size sweep, and the scatter/cleaner ablations.
 
+func init() {
+	Register(Experiment{ID: "fig9a", Order: 140, Title: "CPU usage around a crash (10 idle servers)", Setup: "RF 4, 10M records (scaled), kill at 15s", Run: runFig9a})
+	Register(Experiment{ID: "fig9b", Order: 150, Title: "Power around a crash (10 idle servers)", Setup: "same run as fig9a", Run: runFig9b})
+	Register(Experiment{ID: "fig10", Order: 160, Title: "Client latency across a crash", Setup: "client 1 targets lost data, client 2 live data", Run: runFig10})
+	Register(Experiment{ID: "fig11a", Order: 170, Title: "Recovery time vs replication factor", Setup: "9 servers, ~1/9 of data per server, RF {1..5}", Run: runFig11a})
+	Register(Experiment{ID: "fig11b", Order: 180, Title: "Per-node energy during recovery vs RF", Setup: "same grid as fig11a", Run: runFig11b})
+	Register(Experiment{ID: "fig12", Order: 190, Title: "Aggregate disk I/O during recovery", Setup: "9 servers, RF 3", Run: runFig12})
+	Register(Experiment{ID: "seg", Order: 210, Title: "Segment-size sweep (Sec. IX): recovery time", Setup: "9 servers, RF 2, segment {1..32} MB", Run: runSegSweep})
+	Register(Experiment{ID: "cleaner", Order: 220, Title: "Ablation: log cleaner under memory pressure", Setup: "4 servers, RF 0, log sized to force cleaning", Run: runCleanerAblation})
+	Register(Experiment{ID: "scatter", Order: 240, Title: "Ablation: random scatter vs fixed backups", Setup: "9 servers, RF 2, recovery time", Run: runScatterAblation})
+}
+
 const killAt = 15 * sim.Second // paper kills at 60s; timeline compressed
 
 func recoveryCell(o Options, servers, rf, records, segBytes int, fixed bool) *Result {

@@ -10,6 +10,17 @@ import (
 // This file regenerates the replication study (Section VI): Figs. 5-8 and
 // the throttling mitigation (Fig. 13).
 
+func init() {
+	Register(Experiment{ID: "fig5", Order: 90, Title: "Throughput vs replication factor, 20 servers", Setup: "update-heavy A, RF {1..4} x clients {10,30,60}", Run: runFig5})
+	Register(Experiment{ID: "fig6a", Order: 100, Title: "Throughput vs servers and RF, 60 clients", Setup: "A, servers {10..40} x RF {1..4}", Run: runFig6a})
+	Register(Experiment{ID: "fig6b", Order: 110, Title: "Total energy vs servers and RF, 60 clients", Setup: "same grid as fig6a", Run: runFig6b})
+	Register(Experiment{ID: "fig7", Order: 120, Title: "Average power vs RF, 40 servers, 60 clients", Setup: "A", Run: runFig7})
+	Register(Experiment{ID: "fig8", Order: 130, Title: "Energy efficiency vs RF, {20,30,40} servers", Setup: "A, 60 clients", Run: runFig8})
+	Register(Experiment{ID: "fig13", Order: 200, Title: "Throttled clients avoid collapse", Setup: "10 servers, RF 2, A, rate {200,500} op/s", Run: runFig13})
+	Register(Experiment{ID: "consistency", Order: 230, Title: "Ablation: replication communication (Sec. IX.B)", Setup: "20 servers, A, RF 3: sync RPC vs async RPC vs one-sided RDMA", Run: runConsistencyAblation})
+	Register(Experiment{ID: "dist", Order: 250, Title: "Extension: request distributions (Sec. X)", Setup: "10 servers, uniform vs zipfian", Run: runDistributionStudy})
+}
+
 func replCell(o Options, servers, clients, rf int) *Result {
 	return runMemo(Scenario{
 		Name:              "repl",

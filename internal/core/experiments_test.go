@@ -4,13 +4,25 @@ import (
 	"strings"
 	"testing"
 
+	"ramcloud/internal/sim"
 	"ramcloud/internal/ycsb"
 )
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 26 {
-		t.Fatalf("experiments = %d, want 26", len(exps))
+	if len(exps) != 28 {
+		t.Fatalf("experiments = %d, want 28", len(exps))
+	}
+	// Paper ordering is preserved by Order: the original 26 artifacts
+	// first (fig1a ... batch), then the registered extensions.
+	wantOrder := []string{"fig1a", "fig1b", "fig2", "table1", "table2", "fig3", "fig4a", "fig4b",
+		"fig5", "fig6a", "fig6b", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11a", "fig11b",
+		"fig12", "fig13", "seg", "cleaner", "consistency", "scatter", "dist", "batch",
+		"loadshape", "mixed"}
+	for i, e := range exps {
+		if e.ID != wantOrder[i] {
+			t.Fatalf("experiment %d = %q, want %q (paper order broken)", i, e.ID, wantOrder[i])
+		}
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -29,6 +41,21 @@ func TestExperimentRegistry(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Error("ByID(nope) should fail")
 	}
+}
+
+func TestRegisterRejectsDuplicatesAndIncomplete(t *testing.T) {
+	mustPanic := func(name string, e Experiment) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(e)
+	}
+	mustPanic("duplicate id", Experiment{ID: "fig1a", Title: "dup", Setup: "x", Run: runFig1a})
+	mustPanic("missing run", Experiment{ID: "new-exp", Title: "t", Setup: "x"})
+	mustPanic("missing id", Experiment{Title: "t", Setup: "x", Run: runFig1a})
 }
 
 func TestOptionsNormalize(t *testing.T) {
@@ -81,12 +108,53 @@ func TestMemoReturnsSameResult(t *testing.T) {
 	}
 }
 
+// Regression: the memo key used to omit KillTarget, Deadline and every
+// Profile field except SegmentBytes, so scenarios differing only there
+// wrongly shared one *Result. The key now covers the whole scenario.
+func TestMemoKeyCoversFullScenario(t *testing.T) {
+	base := Scenario{
+		Name: "memo-key", Servers: 3, Clients: 0, RF: 1,
+		Workload:    ycsb.Workload{Name: "load", RecordCount: 20_000, RecordSize: 1024},
+		KillAfter:   2 * sim.Second,
+		KillTarget:  0,
+		IdleSeconds: 2,
+		Seed:        5,
+		Profile:     DefaultProfile(),
+	}
+	a := runMemo(base)
+
+	other := base
+	other.KillTarget = 2
+	if runMemo(other) == a {
+		t.Fatal("memo conflated scenarios differing only in KillTarget")
+	}
+
+	deadline := base
+	deadline.Deadline = 30 * sim.Minute
+	if runMemo(deadline) == a {
+		t.Fatal("memo conflated scenarios differing only in Deadline")
+	}
+
+	hotter := base
+	hotter.Profile.Power.IdleWatts = 100
+	if runMemo(hotter) == a {
+		t.Fatal("memo conflated scenarios differing only in Profile.Power")
+	}
+
+	grouped := base
+	grouped.Groups = []ClientGroup{{Name: "g", Clients: 1,
+		Workload: ycsb.WorkloadC(20_000, 1024), RequestsPerClient: 2000}}
+	if runMemo(grouped) == a {
+		t.Fatal("memo conflated scenarios differing only in Groups")
+	}
+}
+
 func TestRunSeedsDistributions(t *testing.T) {
 	sweep := RunSeeds(Scenario{
 		Name: "sweep", Servers: 2, Clients: 3,
 		Workload:          ycsb.WorkloadB(20_000, 1024),
 		RequestsPerClient: 2000,
-	}, 3)
+	}, 3, Options{})
 	if sweep.Runs != 3 || sweep.Throughput.N() != 3 {
 		t.Fatalf("sweep runs = %d, samples = %d", sweep.Runs, sweep.Throughput.N())
 	}

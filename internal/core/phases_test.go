@@ -1,0 +1,297 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ramcloud/internal/sim"
+	"ramcloud/internal/ycsb"
+)
+
+func TestPhaseScaleAtShapes(t *testing.T) {
+	phases := []LoadPhase{
+		{Name: "const", Shape: ShapeConstant, Duration: 4 * sim.Second, From: 0.5},
+		{Name: "ramp", Shape: ShapeRamp, Duration: 10 * sim.Second, From: 0.5, To: 1.5},
+		{Name: "step", Shape: ShapeStep, Duration: 4 * sim.Second, From: 1.0, To: 2.0, Steps: 2},
+		{Name: "sine", Shape: ShapeSine, Duration: 8 * sim.Second, From: 0.6, To: 1.0, Period: 8 * sim.Second},
+	}
+	approx := func(name string, t0 sim.Duration, want float64) {
+		t.Helper()
+		if got := PhaseScaleAt(phases, t0); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: scale(%v) = %v, want %v", name, t0, got, want)
+		}
+	}
+	approx("const start", 0, 0.5)
+	approx("const mid", 2*sim.Second, 0.5)
+	// Ramp: linear from 0.5 at 4s to 1.5 at 14s.
+	approx("ramp start", 4*sim.Second, 0.5)
+	approx("ramp mid", 9*sim.Second, 1.0)
+	// Step with 2 levels: first half 1.0, second half 2.0.
+	approx("step lo", 14*sim.Second, 1.0)
+	approx("step hi", 17*sim.Second, 2.0)
+	// Sine starts at From, crests at To half a period in.
+	approx("sine trough", 18*sim.Second, 0.6)
+	approx("sine crest", 22*sim.Second, 1.0)
+	// Past the schedule: hold the last phase's end value (full period -> From).
+	approx("after end", 60*sim.Second, 0.6)
+
+	if got := PhaseScaleAt(nil, 5*sim.Second); got != 1 {
+		t.Errorf("empty phases scale = %v, want 1", got)
+	}
+	if got := PhaseSpan(phases); got != 26*sim.Second {
+		t.Errorf("span = %v, want 26s", got)
+	}
+}
+
+// The flat one-population fields must lower losslessly onto a single
+// implicit group: old Scenario literals produce identical Results.
+func TestFlatFieldsLowerToSingleGroup(t *testing.T) {
+	flat := Scenario{
+		Name: "lowering", Servers: 2, Clients: 3,
+		Workload:          ycsb.WorkloadB(20_000, 1024),
+		RequestsPerClient: 2000,
+		Rate:              5000,
+		Seed:              11,
+	}
+	explicit := flat
+	explicit.Clients, explicit.Workload, explicit.RequestsPerClient, explicit.Rate = 0, ycsb.Workload{}, 0, 0
+	explicit.Groups = []ClientGroup{{
+		Name: "lowering", Clients: 3,
+		Workload:          ycsb.WorkloadB(20_000, 1024),
+		RequestsPerClient: 2000,
+		Rate:              5000,
+	}}
+
+	a, b := Run(flat), Run(explicit)
+	if a.TotalOps != b.TotalOps || a.Duration != b.Duration || a.Throughput != b.Throughput {
+		t.Fatalf("flat vs explicit group diverged: ops %d/%d dur %v/%v thr %v/%v",
+			a.TotalOps, b.TotalOps, a.Duration, b.Duration, a.Throughput, b.Throughput)
+	}
+	if a.TotalJoules != b.TotalJoules || a.AvgPowerPerServer != b.AvgPowerPerServer {
+		t.Fatalf("energy diverged: %v/%v J, %v/%v W",
+			a.TotalJoules, b.TotalJoules, a.AvgPowerPerServer, b.AvgPowerPerServer)
+	}
+	if a.ReadLatency.Count() != b.ReadLatency.Count() || a.ReadLatency.Mean() != b.ReadLatency.Mean() {
+		t.Fatalf("read latency diverged: %d/%d samples, mean %v/%v",
+			a.ReadLatency.Count(), b.ReadLatency.Count(), a.ReadLatency.Mean(), b.ReadLatency.Mean())
+	}
+	if len(a.Groups) != 1 || len(b.Groups) != 1 {
+		t.Fatalf("groups = %d/%d, want 1/1", len(a.Groups), len(b.Groups))
+	}
+	if a.Groups[0].TotalOps != a.TotalOps {
+		t.Fatalf("implicit group ops %d != total %d", a.Groups[0].TotalOps, a.TotalOps)
+	}
+}
+
+// Open-loop Poisson arrivals are deterministic at a fixed seed and
+// diverge across seeds.
+func TestOpenLoopPoissonDeterminism(t *testing.T) {
+	scenario := func(seed int64) Scenario {
+		return Scenario{
+			Name: "poisson", Servers: 2, Seed: seed,
+			Groups: []ClientGroup{{
+				Name: "open", Clients: 3,
+				Workload: ycsb.WorkloadC(20_000, 1024),
+				Arrival:  ArrivalOpen,
+				Rate:     2000,
+				Stop:     3 * sim.Second,
+			}},
+		}
+	}
+	a, b := Run(scenario(9)), Run(scenario(9))
+	if a.TotalOps != b.TotalOps || a.Duration != b.Duration ||
+		a.ReadLatency.Mean() != b.ReadLatency.Mean() || a.TotalJoules != b.TotalJoules {
+		t.Fatalf("same seed diverged: ops %d/%d dur %v/%v", a.TotalOps, b.TotalOps, a.Duration, b.Duration)
+	}
+	c := Run(scenario(10))
+	if a.TotalOps == c.TotalOps && a.ReadLatency.Mean() == c.ReadLatency.Mean() {
+		t.Fatal("different seeds produced identical open-loop runs; seed not plumbed")
+	}
+	// ~3 clients x 2000 op/s x 3s = 18K expected arrivals.
+	if a.TotalOps < 12_000 || a.TotalOps > 24_000 {
+		t.Fatalf("open-loop ops = %d, want ~18K", a.TotalOps)
+	}
+}
+
+// A phase boundary must re-target the offered rate mid-run: a 4x step in
+// the phase multiplier should roughly quadruple per-phase throughput.
+func TestPhaseBoundaryRateTransition(t *testing.T) {
+	r := Run(Scenario{
+		Name: "phase-step", Servers: 2, Seed: 7,
+		Groups: []ClientGroup{{
+			Name: "open", Clients: 2,
+			Workload: ycsb.WorkloadC(20_000, 1024),
+			Arrival:  ArrivalOpen,
+			Rate:     2000,
+		}},
+		Phases: []LoadPhase{
+			{Name: "low", Shape: ShapeConstant, Duration: 3 * sim.Second, From: 0.25},
+			{Name: "high", Shape: ShapeConstant, Duration: 3 * sim.Second, From: 1.0},
+		},
+	})
+	if len(r.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(r.Phases))
+	}
+	low, high := r.Phases[0], r.Phases[1]
+	if low.Ops == 0 || high.Ops == 0 {
+		t.Fatalf("empty phase: low %d, high %d", low.Ops, high.Ops)
+	}
+	ratio := high.Throughput / low.Throughput
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("high/low throughput = %.2f, want ~4 (low %.0f, high %.0f)",
+			ratio, low.Throughput, high.Throughput)
+	}
+	if high.Joules <= 0 || low.Joules <= 0 {
+		t.Fatalf("per-phase joules not attributed: %v / %v", low.Joules, high.Joules)
+	}
+	// Throttled closed loops re-target too: same shape through a throttle.
+	rc := Run(Scenario{
+		Name: "phase-step-closed", Servers: 2, Seed: 7,
+		Groups: []ClientGroup{{
+			Name: "closed", Clients: 2,
+			Workload: ycsb.WorkloadC(20_000, 1024),
+			Rate:     2000,
+		}},
+		Phases: []LoadPhase{
+			{Name: "low", Shape: ShapeConstant, Duration: 3 * sim.Second, From: 0.25},
+			{Name: "high", Shape: ShapeConstant, Duration: 3 * sim.Second, From: 1.0},
+		},
+	})
+	ratio = rc.Phases[1].Throughput / rc.Phases[0].Throughput
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("closed-loop high/low throughput = %.2f, want ~4", ratio)
+	}
+}
+
+// Two concurrent tenant groups are measured separately: per-group ops
+// sum to the run's total and energy attribution splits the cluster's
+// joules across tenants.
+func TestMixedGroupsBreakdown(t *testing.T) {
+	r := Run(Scenario{
+		Name: "two-tenants", Servers: 2, Seed: 21,
+		Groups: []ClientGroup{
+			{Name: "alpha", Clients: 2, Workload: ycsb.WorkloadA(20_000, 1024), RequestsPerClient: 2000},
+			{Name: "gamma", Clients: 3, Workload: ycsb.WorkloadC(20_000, 1024), RequestsPerClient: 2000},
+		},
+	})
+	if len(r.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(r.Groups))
+	}
+	alpha, gamma := r.Groups[0], r.Groups[1]
+	if alpha.Group != "alpha" || gamma.Group != "gamma" {
+		t.Fatalf("group names = %q, %q", alpha.Group, gamma.Group)
+	}
+	if alpha.TotalOps+gamma.TotalOps != r.TotalOps {
+		t.Fatalf("group ops %d + %d != total %d", alpha.TotalOps, gamma.TotalOps, r.TotalOps)
+	}
+	if alpha.TotalOps != 2*2000 || gamma.TotalOps != 3*2000 {
+		t.Fatalf("group ops = %d, %d", alpha.TotalOps, gamma.TotalOps)
+	}
+	if alpha.WriteLatency.Count() == 0 {
+		t.Fatal("update-heavy tenant recorded no write latency")
+	}
+	if gamma.WriteLatency.Count() != 0 {
+		t.Fatal("read-only tenant recorded write latency")
+	}
+	if alpha.Joules <= 0 || gamma.Joules <= 0 {
+		t.Fatalf("joule attribution: %v, %v", alpha.Joules, gamma.Joules)
+	}
+	if alpha.OpsPerJoule <= 0 || gamma.OpsPerJoule <= 0 {
+		t.Fatalf("ops/J: %v, %v", alpha.OpsPerJoule, gamma.OpsPerJoule)
+	}
+}
+
+// Zero-duration phases contribute no time: they must not swallow the
+// rest of the schedule or divide by zero at their boundary.
+func TestPhaseScaleAtSkipsZeroDurationPhases(t *testing.T) {
+	phases := []LoadPhase{
+		{Shape: ShapeConstant, Duration: 5 * sim.Second, From: 0.5},
+		{Shape: ShapeRamp, Duration: 0, From: 0.1, To: 1.0},
+		{Shape: ShapeConstant, Duration: 5 * sim.Second, From: 2.0},
+	}
+	if got := PhaseScaleAt(phases, 5*sim.Second); got != 2.0 {
+		t.Fatalf("scale at zero-duration boundary = %v, want 2.0", got)
+	}
+	if got := PhaseScaleAt(phases, 7*sim.Second); got != 2.0 {
+		t.Fatalf("scale past zero-duration phase = %v, want 2.0", got)
+	}
+	if got := PhaseScaleAt(phases, 20*sim.Second); got != 2.0 {
+		t.Fatalf("scale after schedule = %v, want last positive phase's 2.0", got)
+	}
+	onlyZero := []LoadPhase{{Shape: ShapeRamp, Duration: 0, From: 3, To: 4}}
+	if got := PhaseScaleAt(onlyZero, sim.Second); got != 1 {
+		t.Fatalf("all-zero-duration schedule scale = %v, want 1", got)
+	}
+}
+
+// A batched (or windowed) group without a request budget is bounded by
+// the phase span like every other mode, not silently empty.
+func TestBatchedGroupBoundedByPhases(t *testing.T) {
+	r := Run(Scenario{
+		Name: "batched-span", Servers: 2, Seed: 5,
+		Groups: []ClientGroup{{
+			Name: "bulk", Clients: 2,
+			Workload:  ycsb.WorkloadC(20_000, 1024),
+			BatchSize: 8,
+			Rate:      2000,
+		}},
+		Phases: []LoadPhase{
+			{Name: "on", Shape: ShapeConstant, Duration: 2 * sim.Second, From: 1.0},
+		},
+	})
+	if r.TotalOps == 0 {
+		t.Fatal("batched group with Requests=0 under phases issued nothing")
+	}
+	// ~2 clients x 2000 op/s x 2s = 8K ops.
+	if r.TotalOps < 6000 || r.TotalOps > 10_000 {
+		t.Fatalf("batched span-bounded ops = %d, want ~8K", r.TotalOps)
+	}
+}
+
+// An explicitly declared arrival mode is authoritative: closed ignores a
+// stray BatchSize, and batched/windowed without their knob fail loudly.
+func TestArrivalModeAuthoritative(t *testing.T) {
+	s := Scenario{Seed: 1}
+	closed := s.runOptionsFor(ClientGroup{
+		Arrival: ArrivalClosed, BatchSize: 8, Window: 4, RequestsPerClient: 10,
+	}, 1, 0)
+	if closed.BatchSize != 0 || closed.Window != 0 || closed.OpenLoop {
+		t.Fatalf("closed group forwarded batching knobs: %+v", closed)
+	}
+	open := s.runOptionsFor(ClientGroup{
+		Arrival: ArrivalOpen, Rate: 100, BatchSize: 8, RequestsPerClient: 10,
+	}, 1, 0)
+	if !open.OpenLoop || open.BatchSize != 0 {
+		t.Fatalf("open group options: %+v", open)
+	}
+	mustPanic := func(name string, g ClientGroup) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		s.runOptionsFor(g, 1, 0)
+	}
+	mustPanic("batched without size", ClientGroup{Arrival: ArrivalBatched, RequestsPerClient: 10})
+	mustPanic("windowed without window", ClientGroup{Arrival: ArrivalWindowed, RequestsPerClient: 10})
+}
+
+// A group Start offset delays its clients relative to scenario start.
+func TestGroupStartOffset(t *testing.T) {
+	r := Run(Scenario{
+		Name: "staggered", Servers: 2, Seed: 3,
+		Groups: []ClientGroup{
+			{Name: "early", Clients: 1, Workload: ycsb.WorkloadC(20_000, 1024), RequestsPerClient: 1000},
+			{Name: "late", Clients: 1, Workload: ycsb.WorkloadC(20_000, 1024), RequestsPerClient: 1000,
+				Start: 2 * sim.Second},
+		},
+	})
+	if r.TotalOps != 2000 {
+		t.Fatalf("ops = %d, want 2000", r.TotalOps)
+	}
+	// The late group's ops land at least 2s into the run.
+	if r.Duration < 2*sim.Second {
+		t.Fatalf("duration = %v, want >= 2s (late group delayed)", r.Duration)
+	}
+}

@@ -9,6 +9,13 @@ import (
 // Scenario describes one measured run: cluster shape, workload, load
 // level, replication factor and optional fault injection — the knobs the
 // paper sweeps across its experiments.
+//
+// The client population is described either by the flat fields (Clients,
+// Workload, RequestsPerClient, Rate, BatchSize, Window — one homogeneous
+// closed-loop population, the paper's setup) or by explicit Groups.
+// When Groups is non-empty it wins and the flat fields are ignored;
+// otherwise the flat fields lower onto a single implicit group with
+// identical behavior. Phases apply to both forms.
 type Scenario struct {
 	Name    string
 	Profile Profile
@@ -25,6 +32,16 @@ type Scenario struct {
 	// Window > 1 pipelines through the async API (see ycsb.RunOptions).
 	BatchSize int
 	Window    int
+
+	// Groups, when non-empty, replaces the flat client fields with
+	// heterogeneous client populations (mixed tenants, staggered starts,
+	// per-group arrival modes).
+	Groups []ClientGroup
+
+	// Phases modulate every group's Rate over simulated time (ramps,
+	// steps, diurnal sines). Groups whose Rate is 0 (unthrottled closed
+	// loops) are not modulated.
+	Phases []LoadPhase
 
 	Seed int64
 
@@ -84,6 +101,12 @@ type Result struct {
 	CleanerFreed  int64
 
 	Crashed bool // deadline exceeded
+
+	// Groups breaks the run down per client group (always at least the
+	// implicit flat-field group); Phases slices it along the scenario's
+	// load phases (empty without phases).
+	Groups []GroupResult
+	Phases []PhaseResult
 }
 
 // Run executes a scenario to completion and collects its measurements.
@@ -95,9 +118,22 @@ func Run(s Scenario) *Result {
 	cl := NewCluster(eng, s.Profile, s.Servers, s.RF)
 	cl.Start()
 
+	groups := s.groups()
+	totalClients := 0
+	for _, g := range groups {
+		totalClients += g.Clients
+	}
+
 	table := cl.CreateTable("usertable")
-	if s.Workload.RecordCount > 0 {
-		cl.BulkLoad(table, s.Workload.RecordCount, s.Workload.RecordSize)
+	// Load the largest dataset any group addresses; groups share the table.
+	loadRecords, loadSize := 0, 0
+	for _, g := range groups {
+		if g.Workload.RecordCount > loadRecords {
+			loadRecords, loadSize = g.Workload.RecordCount, g.Workload.RecordSize
+		}
+	}
+	if loadRecords > 0 {
+		cl.BulkLoad(table, loadRecords, loadSize)
 	}
 
 	res := &Result{Scenario: s.Name}
@@ -105,23 +141,28 @@ func Run(s Scenario) *Result {
 	var startSec, endSec int
 	var workStart, workEnd sim.Time
 
-	// Clients.
-	for i := 0; i < s.Clients; i++ {
-		i := i
-		c := cl.NewClient()
-		wg.Add(1)
-		eng.Go("client-"+itoa(i), func(p *sim.Proc) {
-			defer wg.Done()
-			p.Sleep(sim.Millisecond) // allow bring-up to settle
-			ycsb.RunClient(p, c, s.Workload, ycsb.RunOptions{
-				Table:     table,
-				Requests:  s.RequestsPerClient,
-				Rate:      s.Rate,
-				Seed:      s.Seed + int64(i)*7919,
-				BatchSize: s.BatchSize,
-				Window:    s.Window,
+	// Clients: one proc per client, numbered globally across groups so
+	// the lowered single-group form spawns the exact legacy sequence.
+	groupOf := make([]int, 0, totalClients)
+	idx := 0
+	for gi, g := range groups {
+		for j := 0; j < g.Clients; j++ {
+			i := idx
+			idx++
+			groupOf = append(groupOf, gi)
+			c := cl.NewClient()
+			wg.Add(1)
+			opts := s.runOptionsFor(g, table, i)
+			wl, start := g.Workload, g.Start
+			eng.Go("client-"+itoa(i), func(p *sim.Proc) {
+				defer wg.Done()
+				p.Sleep(sim.Millisecond) // allow bring-up to settle
+				if start > 0 {
+					p.Sleep(start)
+				}
+				ycsb.RunClient(p, c, wl, opts)
 			})
-		})
+		}
 	}
 
 	// Fault injection.
@@ -200,7 +241,7 @@ func Run(s Scenario) *Result {
 	if seriesEnd < endSec {
 		seriesEnd = endSec
 	}
-	if s.Clients == 0 {
+	if totalClients == 0 {
 		// Idle/recovery scenarios: measure over the whole run.
 		endSec = seriesEnd
 	}
@@ -226,7 +267,7 @@ func Run(s Scenario) *Result {
 		res.ClientLatencyUs = append(res.ClientLatencyUs, &lat)
 	}
 	_ = lastDone
-	if s.Clients > 0 && res.Duration > 0 {
+	if totalClients > 0 && res.Duration > 0 {
 		res.Throughput = float64(res.TotalOps) / res.Duration.Seconds()
 	}
 
@@ -272,6 +313,10 @@ func Run(s Scenario) *Result {
 		res.Recovered = true
 		res.RecoveryTime = recs[0].DoneAt.Sub(res.KilledAt)
 	}
+
+	// Composable-scenario breakdowns: per-group and per-phase slices.
+	res.Groups = buildGroupResults(cl, groups, groupOf, seriesEnd)
+	res.Phases = buildPhaseResults(s, cl, seriesEnd)
 	return res
 }
 

@@ -3,12 +3,20 @@ package core
 import "ramcloud/internal/metrics"
 
 // RunSeeds executes the scenario with n different seeds and aggregates
-// throughput, power and efficiency distributions.
-func RunSeeds(s Scenario, n int) *SeedSweep {
+// throughput, power and efficiency distributions. Options go through the
+// same normalization path as experiments: o.Seed is the sweep's base seed
+// (the scenario's own Seed wins when set) and o.Profile fills in a
+// scenario without one, so a seed sweep measures exactly what a
+// same-options experiment run would.
+func RunSeeds(s Scenario, n int, o Options) *SeedSweep {
+	o = o.normalize()
 	sweep := &SeedSweep{Scenario: s.Name, Runs: n}
+	if s.Profile.Machine.Cores == 0 {
+		s.Profile = o.Profile
+	}
 	base := s.Seed
 	if base == 0 {
-		base = 42
+		base = o.Seed
 	}
 	for i := 0; i < n; i++ {
 		s.Seed = base + int64(i)*104729

@@ -111,6 +111,18 @@ type Report struct {
 	Ops          int64
 }
 
+// WindowReport aggregates the PDU set over sampled seconds [from, to) —
+// the per-phase slice of a run's energy. Load-phase attribution calls it
+// once per phase window; a whole-run report is just the full window.
+func WindowReport(pdus []*PDU, from, to int, ops int64) Report {
+	rep := Report{Ops: ops}
+	for _, pdu := range pdus {
+		rep.PerNodeWatts = append(rep.PerNodeWatts, pdu.MeanWatts(from, to))
+		rep.TotalJoules += pdu.Watts().Sum(from, to)
+	}
+	return rep
+}
+
 // EnergyEfficiency returns operations per joule, the paper's efficiency
 // metric. Zero when no energy was consumed.
 func (r Report) EnergyEfficiency() float64 {

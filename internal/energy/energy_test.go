@@ -86,6 +86,37 @@ func TestReportEfficiency(t *testing.T) {
 	}
 }
 
+func TestWindowReportSlicesSumToWhole(t *testing.T) {
+	m := PowerModel{IdleWatts: 100, CPUWatts: 100}
+	util := [][]float64{{0.5, 1.0, 0.0, 0.25}, {0.0, 0.5, 0.5, 1.0}}
+	var pdus []*PDU
+	for n := 0; n < 2; n++ {
+		u := util[n]
+		pdu := NewPDU(m, func(k int) float64 { return u[k] }, nil, nil)
+		for k := 0; k < 4; k++ {
+			pdu.Sample(k)
+		}
+		pdus = append(pdus, pdu)
+	}
+	whole := WindowReport(pdus, 0, 4, 400)
+	first := WindowReport(pdus, 0, 2, 200)
+	second := WindowReport(pdus, 2, 4, 200)
+	if math.Abs(first.TotalJoules+second.TotalJoules-whole.TotalJoules) > 1e-9 {
+		t.Fatalf("phase slices %v + %v != whole %v",
+			first.TotalJoules, second.TotalJoules, whole.TotalJoules)
+	}
+	// node 0: 150+200 = 350 J over [0,2); node 1: 100+150 = 250 J.
+	if first.TotalJoules != 600 {
+		t.Fatalf("first window joules = %v, want 600", first.TotalJoules)
+	}
+	if len(whole.PerNodeWatts) != 2 || whole.PerNodeWatts[0] != 143.75 {
+		t.Fatalf("per-node watts = %v", whole.PerNodeWatts)
+	}
+	if got := first.EnergyEfficiency(); math.Abs(got-200.0/600.0) > 1e-9 {
+		t.Fatalf("window efficiency = %v", got)
+	}
+}
+
 func TestReportMeanNodeWatts(t *testing.T) {
 	r := Report{PerNodeWatts: []float64{100, 110, 120}}
 	if got := r.MeanNodeWatts(); math.Abs(got-110) > 1e-9 {

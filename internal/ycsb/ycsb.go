@@ -152,11 +152,23 @@ func (w Workload) NextOp(rng *rand.Rand) OpKind {
 }
 
 // Throttle paces a closed-loop client to a target request rate (the
-// paper's client-side throttling mitigation, Fig. 13).
+// paper's client-side throttling mitigation, Fig. 13). A variable-rate
+// throttle (NewVarThrottle) re-reads its target at every send slot, so a
+// load phase boundary re-targets the client mid-run.
 type Throttle struct {
 	interval sim.Duration
 	next     sim.Time
+	rate     RateFunc // nil for a fixed-rate throttle
 }
+
+// RateFunc reports the instantaneous target rate (ops/s) at a virtual
+// time. Load phases modulate group rates through it; a return <= 0 means
+// "offer no load right now" and the client dozes until the rate returns.
+type RateFunc func(now sim.Time) float64
+
+// pausePoll is how often a client with a non-positive target rate
+// re-checks whether load should resume.
+const pausePoll = 100 * sim.Millisecond
 
 // NewThrottle returns a pacer for the given ops/second; nil if rate <= 0.
 func NewThrottle(rate float64) *Throttle {
@@ -166,10 +178,27 @@ func NewThrottle(rate float64) *Throttle {
 	return &Throttle{interval: sim.Duration(float64(sim.Second) / rate)}
 }
 
+// NewVarThrottle returns a pacer that re-derives its interval from fn at
+// every send slot; nil if fn is nil.
+func NewVarThrottle(fn RateFunc) *Throttle {
+	if fn == nil {
+		return nil
+	}
+	return &Throttle{rate: fn}
+}
+
 // Wait blocks until the next send slot.
 func (t *Throttle) Wait(p *sim.Proc) {
 	if t == nil {
 		return
+	}
+	if t.rate != nil {
+		r := t.rate(p.Now())
+		for r <= 0 {
+			p.Sleep(pausePoll)
+			r = t.rate(p.Now())
+		}
+		t.interval = sim.Duration(float64(sim.Second) / r)
 	}
 	now := p.Now()
 	if t.next < now {
@@ -198,6 +227,25 @@ type RunOptions struct {
 	// outstanding through the async API before the oldest is awaited.
 	// Ignored when BatchSize > 1.
 	Window int
+
+	// OpenLoop switches the client from the paper's closed loop to
+	// open-loop Poisson arrivals: operations are issued asynchronously at
+	// exponentially distributed inter-arrival gaps targeting Rate (or
+	// RateFunc) ops/s, independent of completions. Latency then includes
+	// queueing delay, the metric a closed loop hides. Takes precedence
+	// over BatchSize and Window. Requires Rate or RateFunc.
+	OpenLoop bool
+
+	// RateFunc, when set, overrides Rate with a time-varying target; it is
+	// re-read at every send slot so load phases re-target the client
+	// mid-run. Applies to throttled closed loops, batched and windowed
+	// clients, and open-loop arrivals alike.
+	RateFunc RateFunc
+
+	// Stop, when > 0, stops issuing new operations at this virtual time
+	// even if Requests have not been exhausted; in-flight operations are
+	// still awaited. With Requests <= 0 the run is bounded by Stop alone.
+	Stop sim.Time
 }
 
 // RunResult summarizes one client's run.
@@ -210,22 +258,27 @@ type RunResult struct {
 
 // RunClient executes the workload on one client. The default is the
 // paper's closed loop: each iteration draws an op and a key, issues it,
-// and waits for completion. BatchSize > 1 switches to multi-op batching
-// and Window > 1 to async pipelining. Latency and throughput land in the
-// client's Stats.
+// and waits for completion. BatchSize > 1 switches to multi-op batching,
+// Window > 1 to async pipelining, and OpenLoop to Poisson arrivals.
+// Latency and throughput land in the client's Stats.
 func RunClient(p *sim.Proc, c *client.Client, w Workload, opts RunOptions) RunResult {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	ch := w.chooser()
 	th := NewThrottle(opts.Rate)
+	if opts.RateFunc != nil {
+		th = NewVarThrottle(opts.RateFunc)
+	}
 	var res RunResult
 	start := p.Now()
 	switch {
+	case opts.OpenLoop:
+		runOpenLoop(p, c, w, opts, rng, ch, &res)
 	case opts.BatchSize > 1:
 		runBatched(p, c, w, opts, rng, ch, th, &res)
 	case opts.Window > 1:
 		runPipelined(p, c, w, opts, rng, ch, th, &res)
 	default:
-		for i := 0; i < opts.Requests; i++ {
+		for i := 0; stepsLeft(i, p, opts); i++ {
 			th.Wait(p)
 			key := Key(ch.next(rng))
 			switch w.NextOp(rng) {
@@ -246,6 +299,86 @@ func RunClient(p *sim.Proc, c *client.Client, w Workload, opts RunOptions) RunRe
 	return res
 }
 
+// stepsLeft decides whether iteration i should issue: the request budget
+// must not be exhausted and the stop time (when set) must not have
+// passed. Requests <= 0 means "bounded by Stop alone" and issues nothing
+// unless a stop time is set.
+func stepsLeft(i int, p *sim.Proc, opts RunOptions) bool {
+	if opts.Requests > 0 {
+		if i >= opts.Requests {
+			return false
+		}
+	} else if opts.Stop == 0 {
+		return false
+	}
+	return opts.Stop == 0 || p.Now() < opts.Stop
+}
+
+// maxOutstanding caps an open-loop client's in-flight operations. A true
+// open loop queues without bound when the cluster saturates; past the cap
+// the client blocks on its oldest operation instead, which keeps the
+// simulation's memory bounded while still exposing queueing delay in the
+// measured latency.
+const maxOutstanding = 512
+
+// runOpenLoop issues operations at Poisson arrivals: inter-arrival gaps
+// are exponentially distributed around the instantaneous target rate, and
+// each operation goes out through the async API without waiting for the
+// previous one. Completions are reaped opportunistically so latency
+// captures queueing delay under overload — the regime where the paper's
+// closed loop silently throttles itself.
+func runOpenLoop(p *sim.Proc, c *client.Client, w Workload, opts RunOptions, rng *rand.Rand, ch chooser, res *RunResult) {
+	if opts.Rate <= 0 && opts.RateFunc == nil {
+		panic("ycsb: open loop requires Rate or RateFunc")
+	}
+	if opts.Requests <= 0 && opts.Stop == 0 {
+		panic("ycsb: open loop requires Requests or Stop")
+	}
+	rate := func(now sim.Time) float64 {
+		if opts.RateFunc != nil {
+			return opts.RateFunc(now)
+		}
+		return opts.Rate
+	}
+	var pending []*client.Op
+	reap := func(op *client.Op) {
+		if _, _, err := op.Wait(p); err != nil {
+			res.Errors++
+		}
+	}
+	for issued := 0; stepsLeft(issued, p, opts); {
+		r := rate(p.Now())
+		if r <= 0 {
+			p.Sleep(pausePoll) // load trough: doze until the rate returns
+			continue
+		}
+		p.Sleep(sim.Duration(rng.ExpFloat64() / r * float64(sim.Second)))
+		if opts.Stop > 0 && p.Now() >= opts.Stop {
+			break
+		}
+		for len(pending) > 0 && pending[0].Done() {
+			reap(pending[0])
+			pending = pending[1:]
+		}
+		if len(pending) >= maxOutstanding {
+			reap(pending[0])
+			pending = pending[1:]
+		}
+		key := Key(ch.next(rng))
+		if w.NextOp(rng) == OpRead {
+			pending = append(pending, c.ReadAsync(p, opts.Table, key))
+			res.Reads++
+		} else {
+			pending = append(pending, c.WriteAsync(p, opts.Table, key, uint32(w.RecordSize), nil))
+			res.Updates++
+		}
+		issued++
+	}
+	for _, op := range pending {
+		reap(op)
+	}
+}
+
 // runBatched drives the workload in multi-op batches: every iteration
 // draws up to BatchSize ops, sends the reads as one MultiRead and the
 // updates as one MultiWrite. One simulated RPC now carries many ops, so
@@ -254,9 +387,9 @@ func RunClient(p *sim.Proc, c *client.Client, w Workload, opts RunOptions) RunRe
 func runBatched(p *sim.Proc, c *client.Client, w Workload, opts RunOptions, rng *rand.Rand, ch chooser, th *Throttle, res *RunResult) {
 	readKeys := make([][]byte, 0, opts.BatchSize)
 	writeOps := make([]client.MultiWriteOp, 0, opts.BatchSize)
-	for issued := 0; issued < opts.Requests; {
+	for issued := 0; stepsLeft(issued, p, opts); {
 		n := opts.BatchSize
-		if left := opts.Requests - issued; n > left {
+		if left := opts.Requests - issued; opts.Requests > 0 && n > left {
 			n = left
 		}
 		readKeys = readKeys[:0]
@@ -300,7 +433,7 @@ func runPipelined(p *sim.Proc, c *client.Client, w Workload, opts RunOptions, rn
 			res.Errors++
 		}
 	}
-	for i := 0; i < opts.Requests; i++ {
+	for i := 0; stepsLeft(i, p, opts); i++ {
 		th.Wait(p)
 		if len(window) == opts.Window {
 			reap(window[0])

@@ -141,6 +141,56 @@ func TestThrottleNilIsUnlimited(t *testing.T) {
 	}
 }
 
+// TestVarThrottleRetargets checks a variable-rate throttle re-derives its
+// interval at every slot, so a rate change takes effect mid-run.
+func TestVarThrottleRetargets(t *testing.T) {
+	e := sim.New(1)
+	var done sim.Time
+	e.Go("paced", func(p *sim.Proc) {
+		// 100 op/s for the first second, 1000 op/s afterwards.
+		th := NewVarThrottle(func(now sim.Time) float64 {
+			if now < sim.Time(sim.Second) {
+				return 100
+			}
+			return 1000
+		})
+		for i := 0; i < 200; i++ {
+			th.Wait(p)
+		}
+		done = p.Now()
+	})
+	e.Run()
+	// 100 slots in the first second (10ms spacing), then 100 more at 1ms
+	// spacing: ~1.1s total. A fixed 100 op/s throttle would take ~2s.
+	if done < sim.Time(1050*sim.Millisecond) || done > sim.Time(1250*sim.Millisecond) {
+		t.Fatalf("retargeted run finished at %v, want ~1.1s", done)
+	}
+	if NewVarThrottle(nil) != nil {
+		t.Fatal("nil RateFunc must yield a nil throttle")
+	}
+}
+
+// TestVarThrottleZeroRateDozes checks a non-positive target pauses the
+// client until the rate comes back instead of dividing by zero.
+func TestVarThrottleZeroRateDozes(t *testing.T) {
+	e := sim.New(1)
+	var done sim.Time
+	e.Go("dozer", func(p *sim.Proc) {
+		th := NewVarThrottle(func(now sim.Time) float64 {
+			if now < sim.Time(sim.Second) {
+				return 0 // trough: no load offered
+			}
+			return 1000
+		})
+		th.Wait(p)
+		done = p.Now()
+	})
+	e.Run()
+	if done < sim.Time(sim.Second) {
+		t.Fatalf("first slot at %v, want >= 1s (dozed through the trough)", done)
+	}
+}
+
 // fakeStore is a single scripted master + coordinator pair able to serve
 // every data-plane RPC shape the driver can produce.
 type fakeStore struct {
@@ -263,6 +313,86 @@ func TestRunClientPipelined(t *testing.T) {
 	if pipeD >= closedD {
 		t.Fatalf("pipelined run (%v) not faster than closed loop (%v)", pipeD, closedD)
 	}
+}
+
+// TestRunClientOpenLoop checks Poisson arrivals: the run is bounded by
+// Stop when Requests is 0, inter-arrival gaps are seed-deterministic, and
+// ops complete through the async API.
+func TestRunClientOpenLoop(t *testing.T) {
+	run := func(seed int64) (RunResult, int64) {
+		f := newFakeStore(t)
+		c := f.newClient()
+		var res RunResult
+		f.eng.Go("driver", func(p *sim.Proc) {
+			res = RunClient(p, c, WorkloadC(1000, 1024), RunOptions{
+				Table: 1, Seed: seed, OpenLoop: true,
+				Rate: 1000, Stop: sim.Time(2 * sim.Second),
+			})
+			f.eng.Stop()
+		})
+		f.eng.Run()
+		f.eng.Shutdown()
+		return res, c.Stats().Ops.Value()
+	}
+	resA, opsA := run(3)
+	resB, opsB := run(3)
+	if resA.Reads != resB.Reads || resA.Duration != resB.Duration {
+		t.Fatalf("same seed diverged: %d/%d reads, %v/%v", resA.Reads, resB.Reads, resA.Duration, resB.Duration)
+	}
+	if opsA != int64(resA.Reads) {
+		t.Fatalf("completed ops %d != issued %d", opsA, resA.Reads)
+	}
+	// ~1000 op/s over 2s of issuing: expect about 2000 arrivals.
+	if resA.Reads < 1700 || resA.Reads > 2300 {
+		t.Fatalf("open-loop issued %d ops, want ~2000", resA.Reads)
+	}
+	resC, _ := run(4)
+	if resC.Reads == resA.Reads && resC.Duration == resA.Duration {
+		t.Fatal("different seeds produced identical arrival sequences")
+	}
+	_ = opsB
+}
+
+// TestRunClientOpenLoopRequestsBound checks the request budget also caps
+// an open-loop run.
+func TestRunClientOpenLoopRequestsBound(t *testing.T) {
+	f := newFakeStore(t)
+	c := f.newClient()
+	var res RunResult
+	f.eng.Go("driver", func(p *sim.Proc) {
+		res = RunClient(p, c, WorkloadC(1000, 1024), RunOptions{
+			Table: 1, Requests: 150, Seed: 3, OpenLoop: true, Rate: 10_000,
+		})
+		f.eng.Stop()
+	})
+	f.eng.Run()
+	f.eng.Shutdown()
+	if res.Reads != 150 || c.Stats().Ops.Value() != 150 {
+		t.Fatalf("reads = %d, ops = %d, want 150", res.Reads, c.Stats().Ops.Value())
+	}
+}
+
+// TestOpenLoopRejectsUnboundedRun checks the guard rails: no rate, or no
+// request/stop bound, is a programming error.
+func TestOpenLoopRejectsUnboundedRun(t *testing.T) {
+	mustPanic := func(name string, opts RunOptions) {
+		t.Helper()
+		f := newFakeStore(t)
+		c := f.newClient()
+		f.eng.Go("driver", func(p *sim.Proc) {
+			defer f.eng.Stop()
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: RunClient did not panic", name)
+				}
+			}()
+			RunClient(p, c, WorkloadC(1000, 1024), opts)
+		})
+		f.eng.Run()
+		f.eng.Shutdown()
+	}
+	mustPanic("no rate", RunOptions{Table: 1, Requests: 10, OpenLoop: true})
+	mustPanic("no bound", RunOptions{Table: 1, OpenLoop: true, Rate: 100})
 }
 
 func TestZetaPositive(t *testing.T) {

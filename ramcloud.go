@@ -382,6 +382,277 @@ func (c *Client) RunWorkloadOpts(table Table, workload string, opts WorkloadOpti
 	return nil
 }
 
+// Composable scenarios -------------------------------------------------------
+
+// Arrival selects how a client group issues requests.
+type Arrival string
+
+// Arrival modes. ArrivalClosed is the paper's loop: issue, wait, repeat.
+// ArrivalOpen issues at Poisson arrivals targeting Rate ops/s regardless
+// of completions, so measured latency includes queueing delay.
+// ArrivalBatched groups operations into MultiRead/MultiWrite RPCs and
+// ArrivalWindowed pipelines through the async API.
+const (
+	ArrivalClosed   Arrival = "closed"
+	ArrivalOpen     Arrival = "open"
+	ArrivalBatched  Arrival = "batched"
+	ArrivalWindowed Arrival = "windowed"
+)
+
+// Shape selects a load phase's wave form.
+type Shape string
+
+// Load shapes: constant holds From; ramp moves linearly From -> To; step
+// jumps From -> To in Steps discrete levels; sine oscillates between From
+// and To (crest at To) with the given Period.
+const (
+	ShapeConstant Shape = "constant"
+	ShapeRamp     Shape = "ramp"
+	ShapeStep     Shape = "step"
+	ShapeSine     Shape = "sine"
+)
+
+// ClientGroup is one homogeneous client population in a Scenario: its own
+// workload, arrival mode, rate target and lifetime. Several groups run
+// concurrently against the same cluster (mixed tenants).
+type ClientGroup struct {
+	Name    string
+	Clients int
+
+	// Workload is a YCSB core workload letter: "A", "B" or "C".
+	Workload   string
+	Records    int // records preloaded and addressed (default 100_000)
+	RecordSize int // value bytes per record (default 1024, the paper's)
+
+	// Requests bounds each client; 0 means "until Stop or the end of the
+	// phase schedule".
+	Requests int
+
+	Arrival Arrival // default: closed (or batched/windowed when set below)
+	// Rate is the per-client target in ops/s: a throttle for closed
+	// loops (0 = unthrottled) or the Poisson arrival rate for open loops
+	// (required there). Load phases modulate it.
+	Rate      float64
+	BatchSize int
+	Window    int
+
+	// Start delays the group's clients; Stop (when > 0) ends issuing at
+	// that offset from scenario start.
+	Start time.Duration
+	Stop  time.Duration
+}
+
+// LoadPhase modulates every group's Rate over one span of virtual time.
+// Phases run back to back from scenario start.
+type LoadPhase struct {
+	Name     string
+	Shape    Shape
+	Duration time.Duration
+	From, To float64       // rate multipliers (1.0 = the group's base Rate)
+	Period   time.Duration // sine wavelength (default: the phase duration)
+	Steps    int           // step count for ShapeStep (default 4)
+}
+
+// Scenario describes one measured run of heterogeneous client groups
+// under an optional load-phase schedule.
+type Scenario struct {
+	Servers           int // default 3
+	ReplicationFactor int
+	Seed              int64 // default 42
+
+	Groups []ClientGroup
+	Phases []LoadPhase
+}
+
+// GroupMetrics is one group's share of a scenario run. Joules are
+// attributed activity-proportionally: each second's cluster energy is
+// split across groups by their share of delivered operations.
+type GroupMetrics struct {
+	Group      string
+	Arrival    string
+	Clients    int
+	TotalOps   int64
+	Throughput float64 // ops/s over the group's active seconds
+
+	ReadMeanUs, ReadP99Us   float64
+	WriteMeanUs, WriteP99Us float64
+
+	Timeouts, Failures int64
+
+	Joules      float64
+	OpsPerJoule float64
+}
+
+// PhaseMetrics is one load phase's slice of a scenario run.
+type PhaseMetrics struct {
+	Phase string
+	Shape string
+
+	Start, End time.Duration // second-aligned window covered by the phase
+
+	OfferedScale      float64 // mean rate multiplier across the phase
+	Ops               int64
+	Throughput        float64
+	AvgPowerPerServer float64
+	Joules            float64
+	OpsPerJoule       float64
+}
+
+// ScenarioMetrics is everything a RunScenario call measures.
+type ScenarioMetrics struct {
+	TotalOps          int64
+	Duration          time.Duration
+	Throughput        float64
+	AvgPowerPerServer float64
+	TotalJoules       float64
+	OpsPerJoule       float64
+
+	Groups []GroupMetrics
+	Phases []PhaseMetrics
+}
+
+// RunScenario executes a composable scenario — heterogeneous client
+// groups under an optional load-phase schedule — on a dedicated simulated
+// cluster and returns per-run, per-group and per-phase measurements.
+// Runs are deterministic for a given seed.
+func RunScenario(s Scenario) (*ScenarioMetrics, error) {
+	if s.Servers <= 0 {
+		s.Servers = 3
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if len(s.Groups) == 0 {
+		return nil, errors.New("ramcloud: scenario needs at least one client group")
+	}
+	cs := core.Scenario{
+		Name:    "scenario",
+		Servers: s.Servers,
+		RF:      s.ReplicationFactor,
+		Seed:    s.Seed,
+	}
+	for _, g := range s.Groups {
+		records := g.Records
+		if records <= 0 {
+			records = 100_000
+		}
+		size := g.RecordSize
+		if size <= 0 {
+			size = 1024
+		}
+		w, err := ycsb.ByName(g.Workload, records, size)
+		if err != nil {
+			return nil, fmt.Errorf("ramcloud: group %q: %w", g.Name, err)
+		}
+		mode := core.ArrivalDefault
+		switch g.Arrival {
+		case "":
+		case ArrivalClosed:
+			mode = core.ArrivalClosed
+		case ArrivalOpen:
+			if g.Rate <= 0 {
+				return nil, fmt.Errorf("ramcloud: open-loop group %q needs Rate > 0", g.Name)
+			}
+			mode = core.ArrivalOpen
+		case ArrivalBatched:
+			if g.BatchSize < 2 {
+				return nil, fmt.Errorf("ramcloud: batched group %q needs BatchSize > 1", g.Name)
+			}
+			mode = core.ArrivalBatched
+		case ArrivalWindowed:
+			if g.Window < 2 {
+				return nil, fmt.Errorf("ramcloud: windowed group %q needs Window > 1", g.Name)
+			}
+			mode = core.ArrivalWindowed
+		default:
+			return nil, fmt.Errorf("ramcloud: group %q: unknown arrival mode %q", g.Name, g.Arrival)
+		}
+		if g.Requests <= 0 && g.Stop == 0 && len(s.Phases) == 0 {
+			return nil, fmt.Errorf("ramcloud: group %q needs Requests, Stop or phases", g.Name)
+		}
+		cs.Groups = append(cs.Groups, core.ClientGroup{
+			Name:              g.Name,
+			Clients:           g.Clients,
+			Workload:          w,
+			RequestsPerClient: g.Requests,
+			Arrival:           mode,
+			Rate:              g.Rate,
+			BatchSize:         g.BatchSize,
+			Window:            g.Window,
+			Start:             sim.Duration(g.Start),
+			Stop:              sim.Duration(g.Stop),
+		})
+	}
+	for _, ph := range s.Phases {
+		if ph.Duration <= 0 {
+			return nil, fmt.Errorf("ramcloud: phase %q needs a positive Duration", ph.Name)
+		}
+		shape := core.ShapeConstant
+		switch ph.Shape {
+		case "", ShapeConstant:
+		case ShapeRamp:
+			shape = core.ShapeRamp
+		case ShapeStep:
+			shape = core.ShapeStep
+		case ShapeSine:
+			shape = core.ShapeSine
+		default:
+			return nil, fmt.Errorf("ramcloud: phase %q: unknown shape %q", ph.Name, ph.Shape)
+		}
+		cs.Phases = append(cs.Phases, core.LoadPhase{
+			Name:     ph.Name,
+			Shape:    shape,
+			Duration: sim.Duration(ph.Duration),
+			From:     ph.From,
+			To:       ph.To,
+			Period:   sim.Duration(ph.Period),
+			Steps:    ph.Steps,
+		})
+	}
+
+	r := core.Run(cs)
+	out := &ScenarioMetrics{
+		TotalOps:          r.TotalOps,
+		Duration:          time.Duration(r.Duration),
+		Throughput:        r.Throughput,
+		AvgPowerPerServer: r.AvgPowerPerServer,
+		TotalJoules:       r.TotalJoules,
+		OpsPerJoule:       r.OpsPerJoule,
+	}
+	for _, g := range r.Groups {
+		out.Groups = append(out.Groups, GroupMetrics{
+			Group:       g.Group,
+			Arrival:     g.Arrival,
+			Clients:     g.Clients,
+			TotalOps:    g.TotalOps,
+			Throughput:  g.Throughput,
+			ReadMeanUs:  g.ReadLatency.Mean() / 1000,
+			ReadP99Us:   float64(g.ReadLatency.Quantile(0.99)) / 1000,
+			WriteMeanUs: g.WriteLatency.Mean() / 1000,
+			WriteP99Us:  float64(g.WriteLatency.Quantile(0.99)) / 1000,
+			Timeouts:    g.Timeouts,
+			Failures:    g.Failures,
+			Joules:      g.Joules,
+			OpsPerJoule: g.OpsPerJoule,
+		})
+	}
+	for _, ph := range r.Phases {
+		out.Phases = append(out.Phases, PhaseMetrics{
+			Phase:             ph.Phase,
+			Shape:             ph.Shape,
+			Start:             time.Duration(ph.StartSec) * time.Second,
+			End:               time.Duration(ph.EndSec) * time.Second,
+			OfferedScale:      ph.OfferedScale,
+			Ops:               ph.Ops,
+			Throughput:        ph.Throughput,
+			AvgPowerPerServer: ph.AvgPowerPerServer,
+			Joules:            ph.Joules,
+			OpsPerJoule:       ph.OpsPerJoule,
+		})
+	}
+	return out, nil
+}
+
 // Experiment mirror of internal/core for external callers ------------------
 
 // ExperimentIDs lists the reproducible paper artifacts in paper order.

@@ -1,0 +1,79 @@
+package ramcloud
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunScenarioMixedTenants drives the public composable-scenario API:
+// two tenant groups with different workloads and arrival modes under a
+// two-phase schedule, with per-group and per-phase breakdowns.
+func TestRunScenarioMixedTenants(t *testing.T) {
+	spec := Scenario{
+		Servers: 2,
+		Seed:    17,
+		Groups: []ClientGroup{
+			{Name: "web", Clients: 2, Workload: "C", Records: 20_000,
+				Arrival: ArrivalOpen, Rate: 1500},
+			{Name: "batch", Clients: 1, Workload: "A", Records: 20_000,
+				Requests: 1500},
+		},
+		Phases: []LoadPhase{
+			{Name: "quiet", Shape: ShapeConstant, Duration: 2 * time.Second, From: 0.5},
+			{Name: "busy", Shape: ShapeConstant, Duration: 3 * time.Second, From: 1.0},
+		},
+	}
+	m, err := RunScenario(spec)
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if len(m.Groups) != 2 || len(m.Phases) != 2 {
+		t.Fatalf("groups = %d, phases = %d", len(m.Groups), len(m.Phases))
+	}
+	web, batch := m.Groups[0], m.Groups[1]
+	if web.Group != "web" || web.Arrival != "open" || batch.Arrival != "closed" {
+		t.Fatalf("group metadata: %+v / %+v", web, batch)
+	}
+	if web.TotalOps+batch.TotalOps != m.TotalOps || m.TotalOps == 0 {
+		t.Fatalf("ops: %d + %d != %d", web.TotalOps, batch.TotalOps, m.TotalOps)
+	}
+	if web.ReadP99Us <= 0 || web.Joules <= 0 || web.OpsPerJoule <= 0 {
+		t.Fatalf("web metrics: %+v", web)
+	}
+	if batch.WriteP99Us <= 0 {
+		t.Fatalf("update-heavy tenant has no write latency: %+v", batch)
+	}
+	if m.Phases[0].Phase != "quiet" || m.Phases[1].Joules <= 0 {
+		t.Fatalf("phases: %+v", m.Phases)
+	}
+
+	// Determinism: the same spec replays identically.
+	m2, err := RunScenario(spec)
+	if err != nil {
+		t.Fatalf("RunScenario (replay): %v", err)
+	}
+	if m2.TotalOps != m.TotalOps || m2.TotalJoules != m.TotalJoules || m2.Duration != m.Duration {
+		t.Fatalf("replay diverged: %+v vs %+v", m2, m)
+	}
+}
+
+// TestRunScenarioValidation covers the error paths: no groups, bad
+// workload, unbounded group, open loop without a rate, bad shapes.
+func TestRunScenarioValidation(t *testing.T) {
+	if _, err := RunScenario(Scenario{}); err == nil {
+		t.Error("empty scenario must fail")
+	}
+	bad := []Scenario{
+		{Groups: []ClientGroup{{Name: "g", Clients: 1, Workload: "Z", Requests: 10}}},
+		{Groups: []ClientGroup{{Name: "g", Clients: 1, Workload: "C"}}}, // unbounded
+		{Groups: []ClientGroup{{Name: "g", Clients: 1, Workload: "C", Requests: 10, Arrival: ArrivalOpen}}},
+		{Groups: []ClientGroup{{Name: "g", Clients: 1, Workload: "C", Requests: 10, Arrival: "warped"}}},
+		{Groups: []ClientGroup{{Name: "g", Clients: 1, Workload: "C", Requests: 10}},
+			Phases: []LoadPhase{{Shape: "sawtooth", Duration: time.Second}}},
+	}
+	for i, s := range bad {
+		if _, err := RunScenario(s); err == nil {
+			t.Errorf("bad scenario %d accepted", i)
+		}
+	}
+}
