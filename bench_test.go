@@ -3,6 +3,7 @@ package ramcloud
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -67,6 +68,31 @@ func BenchmarkRelaxedConsistency(b *testing.B)        { benchExperiment(b, "cons
 func BenchmarkScatterAblation(b *testing.B)           { benchExperiment(b, "scatter") }
 func BenchmarkDistributionStudy(b *testing.B)         { benchExperiment(b, "dist") }
 func BenchmarkBatchSweep(b *testing.B)                { benchExperiment(b, "batch") }
+
+// Full-suite render benchmarks: every registered experiment, prewarmed on
+// the worker pool (BenchmarkFullRender) or fully serial
+// (BenchmarkFullRenderSerial). The pair measures the parallel runner's
+// wall-clock speedup; run with -benchtime=1x — one iteration is the whole
+// reproduction. The memo resets per iteration so every iteration pays the
+// full simulation cost.
+
+func benchFullRender(b *testing.B, workers int) {
+	opts := core.Options{Scale: benchScale(), Seed: 42}
+	exps := core.Experiments()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ResetMemo()
+		if workers > 1 {
+			core.NewRunner(workers).Prewarm(exps, opts)
+		}
+		for _, e := range exps {
+			_ = e.Run(opts).Render()
+		}
+	}
+}
+
+func BenchmarkFullRender(b *testing.B)       { benchFullRender(b, runtime.GOMAXPROCS(0)) }
+func BenchmarkFullRenderSerial(b *testing.B) { benchFullRender(b, 1) }
 
 // Micro-benchmarks of the storage data structures (real wall-clock
 // performance of this library, not simulated time).

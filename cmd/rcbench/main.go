@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,6 +30,7 @@ func main() {
 		scale = flag.Float64("scale", 1.0, "request/record scale (1.0 = standard reproduction)")
 		seed  = flag.Int64("seed", 42, "simulation seed")
 		out   = flag.String("o", "", "write results to file instead of stdout")
+		j     = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent scenario simulations (1 = fully serial)")
 	)
 	flag.Parse()
 
@@ -63,7 +65,7 @@ func main() {
 		w = f
 	}
 
-	opts := core.Options{Scale: *scale, Seed: *seed}
+	var selected []core.Experiment
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		e, ok := core.ByID(id)
@@ -71,6 +73,29 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rcbench: unknown experiment %q (try -list)\n", id)
 			os.Exit(2)
 		}
+		selected = append(selected, e)
+	}
+
+	opts := core.Options{Scale: *scale, Seed: *seed}
+	core.SetParallelism(*j)
+	warmable := 0
+	for _, e := range selected {
+		if e.Scenarios != nil {
+			warmable++
+		}
+	}
+	if *j > 1 && warmable > 0 {
+		// Run every scenario of every requested experiment on the worker
+		// pool up front; the per-experiment timings below then measure
+		// rendering against a warm memo (the prewarm line reports the
+		// simulation cost once). Experiments without a scenario grid
+		// (fig10's custom loop) still pay their cost in their own line.
+		start := time.Now()
+		core.NewRunner(*j).Prewarm(selected, opts)
+		fmt.Fprintf(w, "(prewarmed %d of %d experiments on %d workers in %.1fs wall clock)\n\n",
+			warmable, len(selected), *j, time.Since(start).Seconds())
+	}
+	for _, e := range selected {
 		start := time.Now()
 		res := e.Run(opts)
 		fmt.Fprintf(w, "%s(completed in %.1fs wall clock)\n\n", res.Render(), time.Since(start).Seconds())

@@ -11,13 +11,15 @@
 //	rcsim -servers 9 -rf 2 -records 300000 -kill-after 15s
 //	rcsim -arrival open -rate 5000 -shape diurnal
 //	rcsim -experiment loadshape
-//	rcsim -experiment mixed -scale 0.5
+//	rcsim -experiment latload -j 8
+//	rcsim -runs 10 -j 8 -servers 10 -clients 30 -workload a
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"ramcloud/internal/core"
@@ -41,10 +43,12 @@ func main() {
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		killAfter  = flag.Duration("kill-after", 0, "kill one server after this virtual time")
 		runs       = flag.Int("runs", 1, "seed-sweep run count (like the paper's 5-run averages)")
-		experiment = flag.String("experiment", "", "run a registered experiment by id (e.g. loadshape, mixed, fig1a) and exit")
+		experiment = flag.String("experiment", "", "run a registered experiment by id (e.g. loadshape, latload, fig1a) and exit")
 		scale      = flag.Float64("scale", 1.0, "experiment scale factor (with -experiment)")
+		j          = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent scenario simulations (experiments and -runs sweeps; 1 = fully serial)")
 	)
 	flag.Parse()
+	core.SetParallelism(*j)
 
 	if *experiment != "" {
 		e, ok := core.ByID(*experiment)
@@ -55,7 +59,11 @@ func main() {
 			}
 			os.Exit(2)
 		}
-		fmt.Print(e.Run(core.Options{Scale: *scale, Seed: *seed}).Render())
+		opts := core.Options{Scale: *scale, Seed: *seed}
+		if *j > 1 {
+			core.NewRunner(*j).Prewarm([]core.Experiment{e}, opts)
+		}
+		fmt.Print(e.Run(opts).Render())
 		return
 	}
 

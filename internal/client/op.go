@@ -175,7 +175,7 @@ func (o *Op) Wait(p *sim.Proc) (valueLen uint32, value []byte, err error) {
 		st, valueLen, value := o.classify(resp)
 		switch st {
 		case wire.StatusOK:
-			c.record(o.start, o.hist())
+			c.recordCompleted(o.start, o.call.ResolvedAt(), o.hist())
 			return o.finish(valueLen, value, nil)
 		case wire.StatusUnknownKey:
 			if o.kind == opWrite {
@@ -184,7 +184,7 @@ func (o *Op) Wait(p *sim.Proc) (valueLen uint32, value []byte, err error) {
 				p.Sleep(c.cfg.RetryBackoff)
 				continue
 			}
-			c.record(o.start, o.hist())
+			c.recordCompleted(o.start, o.call.ResolvedAt(), o.hist())
 			return o.finish(0, nil, ErrNotFound)
 		case wire.StatusWrongServer:
 			c.stats.Retries.Inc()

@@ -116,6 +116,11 @@ type Experiment struct {
 	// anywhere without renumbering. Ties break by registration order.
 	Order int
 	Run   func(Options) *ExpResult
+	// Scenarios enumerates the exact scenario grid Run will execute, so
+	// Runner.Prewarm can pump every cell through the worker pool before a
+	// sequential render. Nil for experiments that drive a custom
+	// simulation loop (fig10) — those cannot be prewarmed.
+	Scenarios func(Options) []Scenario
 }
 
 // The experiment registry. Each experiments_*.go file registers its
@@ -166,32 +171,11 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// Shared memoized scenario runner: several figures reuse the same grid
-// (e.g. fig1a/fig1b/fig2), so identical scenarios run once per process.
-var (
-	memoMu sync.Mutex
-	memo   = map[string]*Result{}
-)
-
-func runMemo(s Scenario) *Result {
-	// The key is the fully rendered scenario — every field, including
-	// KillTarget, Deadline, groups, phases and the whole Profile — so two
-	// scenarios differing anywhere never share a memoized Result. (An
-	// earlier hand-picked field list silently conflated scenarios that
-	// differed only in omitted fields.)
-	key := fmt.Sprintf("%+v", s)
-	memoMu.Lock()
-	if r, ok := memo[key]; ok {
-		memoMu.Unlock()
-		return r
-	}
-	memoMu.Unlock()
-	r := Run(s)
-	memoMu.Lock()
-	memo[key] = r
-	memoMu.Unlock()
-	return r
-}
+// The scenario memo lives in runner.go: runMemo is singleflight (the key
+// is the canonical memoKey rendering of the full scenario — every field,
+// including KillTarget, Deadline, groups, phases and the whole Profile —
+// so two scenarios differing anywhere never share a memoized Result,
+// while concurrent requests for the same scenario share one run).
 
 // kops formats an ops/s number in Kop/s like the paper.
 func kops(v float64) string { return fmt.Sprintf("%.0fK", v/1000) }

@@ -14,15 +14,15 @@ import (
 // shape dominates the energy picture.
 
 func init() {
-	Register(Experiment{ID: "batch", Order: 260, Title: "Extension: multi-op batching and async pipelining", Setup: "10 servers, C and A, batch {1,4,16,64}, window {1,4,16}", Run: runBatchSweep})
+	Register(Experiment{ID: "batch", Order: 260, Title: "Extension: multi-op batching and async pipelining", Setup: "10 servers, C and A, batch {1,4,16,64}, window {1,4,16}", Run: runBatchSweep, Scenarios: batchGrid})
 }
 
 var batchSizes = []int{1, 4, 16, 64}
 var windowSizes = []int{1, 4, 16}
 
-// batchCell runs one batched cell: 10 servers, 10 clients, like the
+// batchScenario is one batched cell: 10 servers, 10 clients, like the
 // Table II grid, but with clients batching BatchSize ops per RPC round.
-func batchCell(o Options, wl string, batch int) *Result {
+func batchScenario(o Options, wl string, batch int) Scenario {
 	s := Scenario{
 		Name:              "batch",
 		Profile:           o.Profile,
@@ -36,27 +36,41 @@ func batchCell(o Options, wl string, batch int) *Result {
 	if batch > 1 {
 		s.BatchSize = batch
 	}
-	return runMemo(s)
+	return s
 }
 
-// windowCell runs one pipelined cell: the same grid, async window instead
-// of multi-op batching. The Name matches batchCell so the window=1 /
-// batch=1 baseline (identical scenarios) is memoized once per process.
-func windowCell(o Options, wl string, window int) *Result {
-	s := Scenario{
-		Name:              "batch",
-		Profile:           o.Profile,
-		Servers:           10,
-		Clients:           10,
-		RF:                0,
-		Workload:          workloadFor(wl, 100_000, 1024),
-		RequestsPerClient: o.requests(20_000),
-		Seed:              o.Seed,
-	}
+func batchCell(o Options, wl string, batch int) *Result {
+	return runMemo(batchScenario(o, wl, batch))
+}
+
+// windowScenario is one pipelined cell: the same grid, async window
+// instead of multi-op batching. The Name matches batchScenario so the
+// window=1 / batch=1 baseline (identical scenarios) is memoized once per
+// process.
+func windowScenario(o Options, wl string, window int) Scenario {
+	s := batchScenario(o, wl, 1)
 	if window > 1 {
 		s.Window = window
 	}
-	return runMemo(s)
+	return s
+}
+
+func windowCell(o Options, wl string, window int) *Result {
+	return runMemo(windowScenario(o, wl, window))
+}
+
+func batchGrid(o Options) []Scenario {
+	o = o.normalize()
+	var out []Scenario
+	for _, wl := range []string{"C", "A"} {
+		for _, bs := range batchSizes {
+			out = append(out, batchScenario(o, wl, bs))
+		}
+	}
+	for _, win := range windowSizes {
+		out = append(out, windowScenario(o, "C", win))
+	}
+	return out
 }
 
 func runBatchSweep(o Options) *ExpResult {

@@ -1,0 +1,50 @@
+package core
+
+import "testing"
+
+// The latload acceptance properties at a cheap scale: p99 read latency is
+// monotone in offered load with a decisive saturation knee. Workload A's
+// knee is cheap (8 Kop/s capacity), so its whole sweep is checked; B and
+// C are spot-checked below capacity vs past it to bound test cost.
+func TestLatLoadHockeyStick(t *testing.T) {
+	o := Options{Scale: 0.2, Seed: 42}.normalize()
+
+	sweepA := latLoadSweeps[0]
+	if sweepA.wl != "A" {
+		t.Fatalf("sweep 0 is %q, want A", sweepA.wl)
+	}
+	var prev int64 = -1
+	var first, last int64
+	for i, frac := range sweepA.fractions {
+		r := runMemo(latLoadScenario(o, sweepA, frac))
+		p99 := r.ReadLatency.Quantile(0.99)
+		if p99 < prev {
+			t.Errorf("workload A p99 not monotone: %dns at %.2fx < %dns at %.2fx",
+				p99, frac, prev, sweepA.fractions[i-1])
+		}
+		prev = p99
+		if i == 0 {
+			first = p99
+		}
+		last = p99
+	}
+	if first <= 0 || last < 20*first {
+		t.Errorf("workload A knee not visible: trough p99 %dns, peak p99 %dns", first, last)
+	}
+
+	for _, sw := range latLoadSweeps[1:] {
+		lo := runMemo(latLoadScenario(o, sw, sw.fractions[2]))
+		hi := runMemo(latLoadScenario(o, sw, sw.fractions[len(sw.fractions)-1]))
+		lo99 := lo.ReadLatency.Quantile(0.99)
+		hi99 := hi.ReadLatency.Quantile(0.99)
+		if lo99 <= 0 || hi99 < 100*lo99 {
+			t.Errorf("workload %s knee not visible: p99 %dns below capacity vs %dns past it", sw.wl, lo99, hi99)
+		}
+		// Past saturation the server must be delivering at (or below) its
+		// capacity while the sweep offers more: the open loop queues.
+		offered := sw.capacity * sw.fractions[len(sw.fractions)-1]
+		if hi.Throughput >= offered {
+			t.Errorf("workload %s delivered %.0f >= offered %.0f past the knee", sw.wl, hi.Throughput, offered)
+		}
+	}
+}

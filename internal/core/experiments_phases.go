@@ -15,8 +15,8 @@ import (
 // measure per-tenant throughput, latency and attributed energy.
 
 func init() {
-	Register(Experiment{ID: "loadshape", Order: 270, Title: "Extension: energy proportionality under shaped load", Setup: "10 servers, 10 open-loop clients, diurnal sine + burst phases", Run: runLoadShape})
-	Register(Experiment{ID: "mixed", Order: 280, Title: "Extension: mixed tenants (A + C) on one cluster", Setup: "10 servers, 20+20 closed-loop clients, per-group isolation", Run: runMixedTenants})
+	Register(Experiment{ID: "loadshape", Order: 270, Title: "Extension: energy proportionality under shaped load", Setup: "10 servers, 10 open-loop clients, diurnal sine + burst phases", Run: runLoadShape, Scenarios: loadShapeGrid})
+	Register(Experiment{ID: "mixed", Order: 280, Title: "Extension: mixed tenants (A + C) on one cluster", Setup: "10 servers, 20+20 closed-loop clients, per-group isolation", Run: runMixedTenants, Scenarios: mixedGrid})
 }
 
 // loadShapePhases is the diurnal schedule: a night trough, a morning
@@ -32,15 +32,19 @@ func loadShapePhases() []LoadPhase {
 	}
 }
 
-func runLoadShape(o Options) *ExpResult {
-	o = o.normalize()
-	// Per-client Poisson rate at full load (phase multiplier 1.0); the
-	// 10-client aggregate peaks around 2x this in the burst phase.
+// loadShapeRate is the per-client Poisson rate at full load (phase
+// multiplier 1.0); the 10-client aggregate peaks around 2x this in the
+// burst phase.
+func loadShapeRate(o Options) float64 {
 	rate := 20_000 * o.Scale
 	if rate < 1_000 {
 		rate = 1_000
 	}
-	s := Scenario{
+	return rate
+}
+
+func loadShapeScenario(o Options) Scenario {
+	return Scenario{
 		Name:    "loadshape",
 		Profile: o.Profile,
 		Servers: 10,
@@ -50,11 +54,21 @@ func runLoadShape(o Options) *ExpResult {
 			Clients:  10,
 			Workload: ycsb.WorkloadC(100_000, 1024),
 			Arrival:  ArrivalOpen,
-			Rate:     rate,
+			Rate:     loadShapeRate(o),
 		}},
 		Phases: loadShapePhases(),
 	}
-	r := runMemo(s)
+}
+
+func loadShapeGrid(o Options) []Scenario {
+	o = o.normalize()
+	return []Scenario{loadShapeScenario(o)}
+}
+
+func runLoadShape(o Options) *ExpResult {
+	o = o.normalize()
+	rate := loadShapeRate(o)
+	r := runMemo(loadShapeScenario(o))
 
 	res := &ExpResult{ID: "loadshape",
 		Title: "Energy proportionality under shaped load (diurnal sine + burst)",
@@ -110,8 +124,9 @@ func runLoadShape(o Options) *ExpResult {
 	return res
 }
 
-func runMixedTenants(o Options) *ExpResult {
-	o = o.normalize()
+// mixedScenarios builds the three mixed-tenant runs: both tenants
+// together, then each tenant solo on the same cluster.
+func mixedScenarios(o Options) (mixed, soloA, soloC Scenario) {
 	reqs := o.requests(10_000)
 	tenantA := ClientGroup{
 		Name: "tenantA", Clients: 20,
@@ -123,18 +138,34 @@ func runMixedTenants(o Options) *ExpResult {
 		Workload:          ycsb.WorkloadC(100_000, 1024),
 		RequestsPerClient: reqs,
 	}
-	mixed := runMemo(Scenario{
+	mixed = Scenario{
 		Name: "mixed", Profile: o.Profile, Servers: 10, Seed: o.Seed,
 		Groups: []ClientGroup{tenantA, tenantC},
-	})
-	soloA := runMemo(Scenario{
+	}
+	soloA = Scenario{
 		Name: "mixed-soloA", Profile: o.Profile, Servers: 10, Seed: o.Seed,
 		Groups: []ClientGroup{tenantA},
-	})
-	soloC := runMemo(Scenario{
+	}
+	soloC = Scenario{
 		Name: "mixed-soloC", Profile: o.Profile, Servers: 10, Seed: o.Seed,
 		Groups: []ClientGroup{tenantC},
-	})
+	}
+	return mixed, soloA, soloC
+}
+
+func mixedGrid(o Options) []Scenario {
+	o = o.normalize()
+	a, b, c := mixedScenarios(o)
+	return []Scenario{a, b, c}
+}
+
+func runMixedTenants(o Options) *ExpResult {
+	o = o.normalize()
+	reqs := o.requests(10_000)
+	sMixed, sSoloA, sSoloC := mixedScenarios(o)
+	mixed := runMemo(sMixed)
+	soloA := runMemo(sSoloA)
+	soloC := runMemo(sSoloC)
 
 	res := &ExpResult{ID: "mixed",
 		Title: "Mixed tenants: update-heavy A and read-only C share 10 servers",

@@ -11,22 +11,22 @@ import (
 // Fig. 2 and Table I (Section IV of the paper).
 
 func init() {
-	Register(Experiment{ID: "fig1a", Order: 10, Title: "Aggregated read-only throughput vs cluster size", Setup: "workload C, RF 0, servers {1,5,10} x clients {1,10,30}", Run: runFig1a})
-	Register(Experiment{ID: "fig1b", Order: 20, Title: "Average power per server (read-only)", Setup: "same grid as fig1a", Run: runFig1b})
-	Register(Experiment{ID: "fig2", Order: 30, Title: "Energy efficiency (op/J) of read-only runs", Setup: "same grid as fig1a", Run: runFig2})
-	Register(Experiment{ID: "table1", Order: 40, Title: "Min-max CPU usage per node (read-only)", Setup: "servers {1,5,10} x clients {0..5,10,30}", Run: runTable1})
-	Register(Experiment{ID: "table2", Order: 50, Title: "Throughput of workloads A/B/C on 10 servers", Setup: "RF 0, 100K records, clients {10..90}", Run: runTable2})
-	Register(Experiment{ID: "fig3", Order: 60, Title: "Scalability factor vs 10-client baseline", Setup: "derived from table2", Run: runFig3})
-	Register(Experiment{ID: "fig4a", Order: 70, Title: "Average power per node, 20 servers", Setup: "A/B/C x clients {10..90}", Run: runFig4a})
-	Register(Experiment{ID: "fig4b", Order: 80, Title: "Total energy at 90 clients by workload", Setup: "20 servers", Run: runFig4b})
+	Register(Experiment{ID: "fig1a", Order: 10, Title: "Aggregated read-only throughput vs cluster size", Setup: "workload C, RF 0, servers {1,5,10} x clients {1,10,30}", Run: runFig1a, Scenarios: fig1Grid})
+	Register(Experiment{ID: "fig1b", Order: 20, Title: "Average power per server (read-only)", Setup: "same grid as fig1a", Run: runFig1b, Scenarios: fig1Grid})
+	Register(Experiment{ID: "fig2", Order: 30, Title: "Energy efficiency (op/J) of read-only runs", Setup: "same grid as fig1a", Run: runFig2, Scenarios: fig1Grid})
+	Register(Experiment{ID: "table1", Order: 40, Title: "Min-max CPU usage per node (read-only)", Setup: "servers {1,5,10} x clients {0..5,10,30}", Run: runTable1, Scenarios: table1Grid})
+	Register(Experiment{ID: "table2", Order: 50, Title: "Throughput of workloads A/B/C on 10 servers", Setup: "RF 0, 100K records, clients {10..90}", Run: runTable2, Scenarios: table2Grid})
+	Register(Experiment{ID: "fig3", Order: 60, Title: "Scalability factor vs 10-client baseline", Setup: "derived from table2", Run: runFig3, Scenarios: table2Grid})
+	Register(Experiment{ID: "fig4a", Order: 70, Title: "Average power per node, 20 servers", Setup: "A/B/C x clients {10..90}", Run: runFig4a, Scenarios: fig4Grid})
+	Register(Experiment{ID: "fig4b", Order: 80, Title: "Total energy at 90 clients by workload", Setup: "20 servers", Run: runFig4b, Scenarios: fig4Grid})
 }
 
 var fig1Servers = []int{1, 5, 10}
 var fig1Clients = []int{1, 10, 30}
 
-// fig1Cell runs one cell of the Fig. 1 grid (memoized across fig1a/1b/2).
-func fig1Cell(o Options, servers, clients int) *Result {
-	return runMemo(Scenario{
+// fig1Scenario is one cell of the Fig. 1 grid (shared by fig1a/1b/2).
+func fig1Scenario(o Options, servers, clients int) Scenario {
+	return Scenario{
 		Name:              "fig1",
 		Profile:           o.Profile,
 		Servers:           servers,
@@ -35,7 +35,22 @@ func fig1Cell(o Options, servers, clients int) *Result {
 		Workload:          ycsb.WorkloadC(o.records(5_000_000), 1024),
 		RequestsPerClient: o.requests(40_000),
 		Seed:              o.Seed,
-	})
+	}
+}
+
+func fig1Cell(o Options, servers, clients int) *Result {
+	return runMemo(fig1Scenario(o, servers, clients))
+}
+
+func fig1Grid(o Options) []Scenario {
+	o = o.normalize()
+	var out []Scenario
+	for _, srv := range fig1Servers {
+		for _, cl := range fig1Clients {
+			out = append(out, fig1Scenario(o, srv, cl))
+		}
+	}
+	return out
 }
 
 // paperFig1a holds the paper's approximate Fig. 1a readings (Kop/s);
@@ -136,30 +151,50 @@ var paperTable1 = map[int][3]string{
 	30: {"99.3", "96.8 - 97.2", "94.9 - 96.0"},
 }
 
+var table1Clients = []int{0, 1, 2, 3, 4, 5, 10, 30}
+
+// table1Scenario is one cell of Table I: clients == 0 is the idle
+// measurement (5 s without load), otherwise a loaded run.
+func table1Scenario(o Options, servers, clients int) Scenario {
+	if clients == 0 {
+		return Scenario{
+			Name: "table1-idle", Profile: o.Profile, Servers: servers, Clients: 0,
+			Workload:    ycsb.WorkloadC(o.records(5_000_000), 1024),
+			IdleSeconds: 5, Seed: o.Seed,
+		}
+	}
+	return Scenario{
+		Name: "table1", Profile: o.Profile, Servers: servers, Clients: clients,
+		Workload:          ycsb.WorkloadC(o.records(5_000_000), 1024),
+		RequestsPerClient: o.requests(40_000),
+		Seed:              o.Seed,
+	}
+}
+
+func table1Grid(o Options) []Scenario {
+	o = o.normalize()
+	var out []Scenario
+	for _, cl := range table1Clients {
+		for _, srv := range fig1Servers {
+			out = append(out, table1Scenario(o, srv, cl))
+		}
+	}
+	return out
+}
+
 func runTable1(o Options) *ExpResult {
 	o = o.normalize()
 	res := &ExpResult{ID: "table1", Title: "Min-max CPU usage (%), read-only",
 		Setup: "workload C, RF 0; paper / measured per cell"}
-	clientCounts := []int{0, 1, 2, 3, 4, 5, 10, 30}
 	t := Table{Header: []string{"clients", "1 server", "5 servers", "10 servers"}}
-	for _, cl := range clientCounts {
+	for _, cl := range table1Clients {
 		row := []string{itoa(cl)}
 		for i, srv := range fig1Servers {
+			r := runMemo(table1Scenario(o, srv, cl))
 			var cell string
 			if cl == 0 {
-				r := runMemo(Scenario{
-					Name: "table1-idle", Profile: o.Profile, Servers: srv, Clients: 0,
-					Workload:    ycsb.WorkloadC(o.records(5_000_000), 1024),
-					IdleSeconds: 5, Seed: o.Seed,
-				})
 				cell = fmt.Sprintf("%.1f", r.CPUMax*100)
 			} else {
-				r := runMemo(Scenario{
-					Name: "table1", Profile: o.Profile, Servers: srv, Clients: cl,
-					Workload:          ycsb.WorkloadC(o.records(5_000_000), 1024),
-					RequestsPerClient: o.requests(40_000),
-					Seed:              o.Seed,
-				})
 				cell = fmt.Sprintf("%.1f - %.1f", r.CPUMin*100, r.CPUMax*100)
 			}
 			row = append(row, paperVs(paperTable1[cl][i], cell))
@@ -172,9 +207,10 @@ func runTable1(o Options) *ExpResult {
 	return res
 }
 
-// readGridCell is shared by table2/fig3 (10 servers) and fig4 (20 servers).
-func tableTwoCell(o Options, servers, clients int, wl string) *Result {
-	return runMemo(Scenario{
+// tableTwoScenario is one cell of the Table II grid (10 servers, shared
+// by table2 and fig3).
+func tableTwoScenario(o Options, servers, clients int, wl string) Scenario {
+	return Scenario{
 		Name:              "table2",
 		Profile:           o.Profile,
 		Servers:           servers,
@@ -183,7 +219,22 @@ func tableTwoCell(o Options, servers, clients int, wl string) *Result {
 		Workload:          workloadFor(wl, 100_000, 1024),
 		RequestsPerClient: o.requests(20_000),
 		Seed:              o.Seed,
-	})
+	}
+}
+
+func tableTwoCell(o Options, servers, clients int, wl string) *Result {
+	return runMemo(tableTwoScenario(o, servers, clients, wl))
+}
+
+func table2Grid(o Options) []Scenario {
+	o = o.normalize()
+	var out []Scenario
+	for _, cl := range table2Clients {
+		for _, wl := range []string{"A", "B", "C"} {
+			out = append(out, tableTwoScenario(o, 10, cl, wl))
+		}
+	}
+	return out
 }
 
 // paperTable2 holds Table II (Kop/s) for 10 servers.
@@ -242,8 +293,8 @@ func runFig3(o Options) *ExpResult {
 	return res
 }
 
-func fig4Cell(o Options, clients int, wl string) *Result {
-	return runMemo(Scenario{
+func fig4Scenario(o Options, clients int, wl string) Scenario {
+	return Scenario{
 		Name:              "fig4",
 		Profile:           o.Profile,
 		Servers:           20,
@@ -252,7 +303,22 @@ func fig4Cell(o Options, clients int, wl string) *Result {
 		Workload:          workloadFor(wl, 100_000, 1024),
 		RequestsPerClient: o.requests(20_000),
 		Seed:              o.Seed,
-	})
+	}
+}
+
+func fig4Cell(o Options, clients int, wl string) *Result {
+	return runMemo(fig4Scenario(o, clients, wl))
+}
+
+func fig4Grid(o Options) []Scenario {
+	o = o.normalize()
+	var out []Scenario
+	for _, cl := range table2Clients {
+		for _, wl := range []string{"C", "B", "A"} {
+			out = append(out, fig4Scenario(o, cl, wl))
+		}
+	}
+	return out
 }
 
 func runFig4a(o Options) *ExpResult {

@@ -13,26 +13,26 @@ import (
 // the Section IX segment-size sweep, and the scatter/cleaner ablations.
 
 func init() {
-	Register(Experiment{ID: "fig9a", Order: 140, Title: "CPU usage around a crash (10 idle servers)", Setup: "RF 4, 10M records (scaled), kill at 15s", Run: runFig9a})
-	Register(Experiment{ID: "fig9b", Order: 150, Title: "Power around a crash (10 idle servers)", Setup: "same run as fig9a", Run: runFig9b})
+	Register(Experiment{ID: "fig9a", Order: 140, Title: "CPU usage around a crash (10 idle servers)", Setup: "RF 4, 10M records (scaled), kill at 15s", Run: runFig9a, Scenarios: fig9Grid})
+	Register(Experiment{ID: "fig9b", Order: 150, Title: "Power around a crash (10 idle servers)", Setup: "same run as fig9a", Run: runFig9b, Scenarios: fig9Grid})
 	Register(Experiment{ID: "fig10", Order: 160, Title: "Client latency across a crash", Setup: "client 1 targets lost data, client 2 live data", Run: runFig10})
-	Register(Experiment{ID: "fig11a", Order: 170, Title: "Recovery time vs replication factor", Setup: "9 servers, ~1/9 of data per server, RF {1..5}", Run: runFig11a})
-	Register(Experiment{ID: "fig11b", Order: 180, Title: "Per-node energy during recovery vs RF", Setup: "same grid as fig11a", Run: runFig11b})
-	Register(Experiment{ID: "fig12", Order: 190, Title: "Aggregate disk I/O during recovery", Setup: "9 servers, RF 3", Run: runFig12})
-	Register(Experiment{ID: "seg", Order: 210, Title: "Segment-size sweep (Sec. IX): recovery time", Setup: "9 servers, RF 2, segment {1..32} MB", Run: runSegSweep})
-	Register(Experiment{ID: "cleaner", Order: 220, Title: "Ablation: log cleaner under memory pressure", Setup: "4 servers, RF 0, log sized to force cleaning", Run: runCleanerAblation})
-	Register(Experiment{ID: "scatter", Order: 240, Title: "Ablation: random scatter vs fixed backups", Setup: "9 servers, RF 2, recovery time", Run: runScatterAblation})
+	Register(Experiment{ID: "fig11a", Order: 170, Title: "Recovery time vs replication factor", Setup: "9 servers, ~1/9 of data per server, RF {1..5}", Run: runFig11a, Scenarios: fig11Grid})
+	Register(Experiment{ID: "fig11b", Order: 180, Title: "Per-node energy during recovery vs RF", Setup: "same grid as fig11a", Run: runFig11b, Scenarios: fig11Grid})
+	Register(Experiment{ID: "fig12", Order: 190, Title: "Aggregate disk I/O during recovery", Setup: "9 servers, RF 3", Run: runFig12, Scenarios: fig12Grid})
+	Register(Experiment{ID: "seg", Order: 210, Title: "Segment-size sweep (Sec. IX): recovery time", Setup: "9 servers, RF 2, segment {1..32} MB", Run: runSegSweep, Scenarios: segGrid})
+	Register(Experiment{ID: "cleaner", Order: 220, Title: "Ablation: log cleaner under memory pressure", Setup: "4 servers, RF 0, log sized to force cleaning", Run: runCleanerAblation, Scenarios: cleanerGrid})
+	Register(Experiment{ID: "scatter", Order: 240, Title: "Ablation: random scatter vs fixed backups", Setup: "9 servers, RF 2, recovery time", Run: runScatterAblation, Scenarios: scatterGrid})
 }
 
 const killAt = 15 * sim.Second // paper kills at 60s; timeline compressed
 
-func recoveryCell(o Options, servers, rf, records, segBytes int, fixed bool) *Result {
+func recoveryScenario(o Options, servers, rf, records, segBytes int, fixed bool) Scenario {
 	p := o.Profile
 	if segBytes > 0 {
 		p.Server.Log.SegmentBytes = segBytes
 	}
 	p.Server.FixedBackups = fixed
-	return runMemo(Scenario{
+	return Scenario{
 		Name:        fmt.Sprintf("recovery-fixed=%v", fixed),
 		Profile:     p,
 		Servers:     servers,
@@ -43,7 +43,48 @@ func recoveryCell(o Options, servers, rf, records, segBytes int, fixed bool) *Re
 		KillTarget:  servers / 2,
 		IdleSeconds: 8,
 		Seed:        o.Seed,
-	})
+	}
+}
+
+func recoveryCell(o Options, servers, rf, records, segBytes int, fixed bool) *Result {
+	return runMemo(recoveryScenario(o, servers, rf, records, segBytes, fixed))
+}
+
+func fig9Grid(o Options) []Scenario {
+	o = o.normalize()
+	return []Scenario{recoveryScenario(o, 10, 4, o.records(10_000_000), 0, false)}
+}
+
+func fig11Grid(o Options) []Scenario {
+	o = o.normalize()
+	var out []Scenario
+	for rf := 1; rf <= 5; rf++ {
+		out = append(out, recoveryScenario(o, 9, rf, o.records(10_000_000), 0, false))
+	}
+	return out
+}
+
+func fig12Grid(o Options) []Scenario {
+	o = o.normalize()
+	return []Scenario{recoveryScenario(o, 9, 3, o.records(10_000_000), 0, false)}
+}
+
+func segGrid(o Options) []Scenario {
+	o = o.normalize()
+	var out []Scenario
+	for _, mb := range []int{1, 2, 4, 8, 16, 32} {
+		out = append(out, recoveryScenario(o, 9, 2, o.records(10_000_000)/2, mb<<20, false))
+	}
+	return out
+}
+
+func scatterGrid(o Options) []Scenario {
+	o = o.normalize()
+	var out []Scenario
+	for _, fixed := range []bool{false, true} {
+		out = append(out, recoveryScenario(o, 9, 2, o.records(10_000_000)/2, 0, fixed))
+	}
+	return out
 }
 
 func runFig9a(o Options) *ExpResult {
@@ -195,28 +236,37 @@ func runScatterAblation(o Options) *ExpResult {
 	return res
 }
 
+func cleanerScenario(o Options, tight bool) Scenario {
+	p := o.Profile
+	if tight {
+		// ~15MB of live data per server in a 24MB log: the cleaner
+		// must continuously reclaim overwritten space.
+		p.Server.Log.TotalBytes = 24 << 20
+	}
+	return Scenario{
+		Name:              fmt.Sprintf("cleaner-tight=%v", tight),
+		Profile:           p,
+		Servers:           4,
+		Clients:           25,
+		RF:                0,
+		Workload:          ycsb.WorkloadA(60_000, 1024),
+		RequestsPerClient: o.requests(10_000),
+		Seed:              o.Seed,
+	}
+}
+
+func cleanerGrid(o Options) []Scenario {
+	o = o.normalize()
+	return []Scenario{cleanerScenario(o, false), cleanerScenario(o, true)}
+}
+
 func runCleanerAblation(o Options) *ExpResult {
 	o = o.normalize()
 	res := &ExpResult{ID: "cleaner", Title: "Log cleaner under memory pressure",
 		Setup: "4 servers, RF 0, 25 clients, update-heavy on 60K x 1KB records"}
 	t := Table{Header: []string{"log capacity", "throughput", "cleaner passes", "segments freed"}}
 	for _, tight := range []bool{false, true} {
-		p := o.Profile
-		if tight {
-			// ~15MB of live data per server in a 24MB log: the cleaner
-			// must continuously reclaim overwritten space.
-			p.Server.Log.TotalBytes = 24 << 20
-		}
-		r := runMemo(Scenario{
-			Name:              fmt.Sprintf("cleaner-tight=%v", tight),
-			Profile:           p,
-			Servers:           4,
-			Clients:           25,
-			RF:                0,
-			Workload:          ycsb.WorkloadA(60_000, 1024),
-			RequestsPerClient: o.requests(10_000),
-			Seed:              o.Seed,
-		})
+		r := runMemo(cleanerScenario(o, tight))
 		label := "10GB (paper setup: cleaner idle)"
 		if tight {
 			label = "24MB (forced cleaning)"

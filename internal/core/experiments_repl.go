@@ -11,18 +11,18 @@ import (
 // the throttling mitigation (Fig. 13).
 
 func init() {
-	Register(Experiment{ID: "fig5", Order: 90, Title: "Throughput vs replication factor, 20 servers", Setup: "update-heavy A, RF {1..4} x clients {10,30,60}", Run: runFig5})
-	Register(Experiment{ID: "fig6a", Order: 100, Title: "Throughput vs servers and RF, 60 clients", Setup: "A, servers {10..40} x RF {1..4}", Run: runFig6a})
-	Register(Experiment{ID: "fig6b", Order: 110, Title: "Total energy vs servers and RF, 60 clients", Setup: "same grid as fig6a", Run: runFig6b})
-	Register(Experiment{ID: "fig7", Order: 120, Title: "Average power vs RF, 40 servers, 60 clients", Setup: "A", Run: runFig7})
-	Register(Experiment{ID: "fig8", Order: 130, Title: "Energy efficiency vs RF, {20,30,40} servers", Setup: "A, 60 clients", Run: runFig8})
-	Register(Experiment{ID: "fig13", Order: 200, Title: "Throttled clients avoid collapse", Setup: "10 servers, RF 2, A, rate {200,500} op/s", Run: runFig13})
-	Register(Experiment{ID: "consistency", Order: 230, Title: "Ablation: replication communication (Sec. IX.B)", Setup: "20 servers, A, RF 3: sync RPC vs async RPC vs one-sided RDMA", Run: runConsistencyAblation})
-	Register(Experiment{ID: "dist", Order: 250, Title: "Extension: request distributions (Sec. X)", Setup: "10 servers, uniform vs zipfian", Run: runDistributionStudy})
+	Register(Experiment{ID: "fig5", Order: 90, Title: "Throughput vs replication factor, 20 servers", Setup: "update-heavy A, RF {1..4} x clients {10,30,60}", Run: runFig5, Scenarios: fig5Grid})
+	Register(Experiment{ID: "fig6a", Order: 100, Title: "Throughput vs servers and RF, 60 clients", Setup: "A, servers {10..40} x RF {1..4}", Run: runFig6a, Scenarios: fig6Grid})
+	Register(Experiment{ID: "fig6b", Order: 110, Title: "Total energy vs servers and RF, 60 clients", Setup: "same grid as fig6a", Run: runFig6b, Scenarios: fig6Grid})
+	Register(Experiment{ID: "fig7", Order: 120, Title: "Average power vs RF, 40 servers, 60 clients", Setup: "A", Run: runFig7, Scenarios: fig7Grid})
+	Register(Experiment{ID: "fig8", Order: 130, Title: "Energy efficiency vs RF, {20,30,40} servers", Setup: "A, 60 clients", Run: runFig8, Scenarios: fig8Grid})
+	Register(Experiment{ID: "fig13", Order: 200, Title: "Throttled clients avoid collapse", Setup: "10 servers, RF 2, A, rate {200,500} op/s", Run: runFig13, Scenarios: fig13Grid})
+	Register(Experiment{ID: "consistency", Order: 230, Title: "Ablation: replication communication (Sec. IX.B)", Setup: "20 servers, A, RF 3: sync RPC vs async RPC vs one-sided RDMA", Run: runConsistencyAblation, Scenarios: consistencyGrid})
+	Register(Experiment{ID: "dist", Order: 250, Title: "Extension: request distributions (Sec. X)", Setup: "10 servers, uniform vs zipfian", Run: runDistributionStudy, Scenarios: distGrid})
 }
 
-func replCell(o Options, servers, clients, rf int) *Result {
-	return runMemo(Scenario{
+func replScenario(o Options, servers, clients, rf int) Scenario {
+	return Scenario{
 		Name:              "repl",
 		Profile:           o.Profile,
 		Servers:           servers,
@@ -32,7 +32,53 @@ func replCell(o Options, servers, clients, rf int) *Result {
 		RequestsPerClient: o.requests(10_000),
 		Seed:              o.Seed,
 		Deadline:          20 * sim.Minute,
-	})
+	}
+}
+
+func replCell(o Options, servers, clients, rf int) *Result {
+	return runMemo(replScenario(o, servers, clients, rf))
+}
+
+func fig5Grid(o Options) []Scenario {
+	o = o.normalize()
+	var out []Scenario
+	for rf := 1; rf <= 4; rf++ {
+		for _, cl := range []int{10, 30, 60} {
+			out = append(out, replScenario(o, 20, cl, rf))
+		}
+	}
+	return out
+}
+
+func fig6Grid(o Options) []Scenario {
+	o = o.normalize()
+	var out []Scenario
+	for _, srv := range fig6Servers {
+		for rf := 1; rf <= 4; rf++ {
+			out = append(out, replScenario(o, srv, 60, rf))
+		}
+	}
+	return out
+}
+
+func fig7Grid(o Options) []Scenario {
+	o = o.normalize()
+	var out []Scenario
+	for rf := 1; rf <= 4; rf++ {
+		out = append(out, replScenario(o, 40, 60, rf))
+	}
+	return out
+}
+
+func fig8Grid(o Options) []Scenario {
+	o = o.normalize()
+	var out []Scenario
+	for rf := 1; rf <= 4; rf++ {
+		for _, srv := range []int{20, 30, 40} {
+			out = append(out, replScenario(o, srv, 60, rf))
+		}
+	}
+	return out
 }
 
 func runFig5(o Options) *ExpResult {
@@ -169,6 +215,31 @@ func runFig8(o Options) *ExpResult {
 	return res
 }
 
+func fig13Scenario(o Options, clients int, rate float64) Scenario {
+	return Scenario{
+		Name:              "fig13",
+		Profile:           o.Profile,
+		Servers:           10,
+		Clients:           clients,
+		RF:                2,
+		Workload:          ycsb.WorkloadA(100_000, 1024),
+		RequestsPerClient: int(rate * 20),
+		Rate:              rate,
+		Seed:              o.Seed,
+	}
+}
+
+func fig13Grid(o Options) []Scenario {
+	o = o.normalize()
+	var out []Scenario
+	for _, cl := range []int{10, 30, 60} {
+		for _, rate := range []float64{200, 500} {
+			out = append(out, fig13Scenario(o, cl, rate))
+		}
+	}
+	return out
+}
+
 func runFig13(o Options) *ExpResult {
 	o = o.normalize()
 	res := &ExpResult{ID: "fig13", Title: "Throttled update-heavy throughput (op/s), 10 servers, RF 2",
@@ -177,17 +248,7 @@ func runFig13(o Options) *ExpResult {
 	for _, cl := range []int{10, 30, 60} {
 		row := []string{itoa(cl)}
 		for _, rate := range []float64{200, 500} {
-			r := runMemo(Scenario{
-				Name:              "fig13",
-				Profile:           o.Profile,
-				Servers:           10,
-				Clients:           cl,
-				RF:                2,
-				Workload:          ycsb.WorkloadA(100_000, 1024),
-				RequestsPerClient: int(rate * 20),
-				Rate:              rate,
-				Seed:              o.Seed,
-			})
+			r := runMemo(fig13Scenario(o, cl, rate))
 			row = append(row, fmt.Sprintf("%.0f", r.Throughput))
 		}
 		row = append(row, fmt.Sprintf("%.0f", float64(cl)*200), fmt.Sprintf("%.0f", float64(cl)*500))
@@ -199,34 +260,48 @@ func runFig13(o Options) *ExpResult {
 	return res
 }
 
+var consistencyModes = []struct {
+	name  string
+	async bool
+	rdma  bool
+}{
+	{"sync RPC (strong consistency, RAMCloud)", false, false},
+	{"async RPC (relaxed consistency)", true, false},
+	{"one-sided RDMA (strong, zero backup CPU)", false, true},
+}
+
+func consistencyScenario(o Options, async, rdma bool) Scenario {
+	p := o.Profile
+	p.Server.AsyncReplication = async
+	p.Server.RDMAReplication = rdma
+	return Scenario{
+		Name:              fmt.Sprintf("consistency-async=%v-rdma=%v", async, rdma),
+		Profile:           p,
+		Servers:           20,
+		Clients:           30,
+		RF:                3,
+		Workload:          ycsb.WorkloadA(100_000, 1024),
+		RequestsPerClient: o.requests(10_000),
+		Seed:              o.Seed,
+	}
+}
+
+func consistencyGrid(o Options) []Scenario {
+	o = o.normalize()
+	var out []Scenario
+	for _, mode := range consistencyModes {
+		out = append(out, consistencyScenario(o, mode.async, mode.rdma))
+	}
+	return out
+}
+
 func runConsistencyAblation(o Options) *ExpResult {
 	o = o.normalize()
 	res := &ExpResult{ID: "consistency", Title: "Replication communication ablation (Sec. IX.B)",
 		Setup: "20 servers, 30 clients, update-heavy A, RF 3"}
 	t := Table{Header: []string{"mode", "throughput", "watts/node", "op/J"}}
-	modes := []struct {
-		name  string
-		async bool
-		rdma  bool
-	}{
-		{"sync RPC (strong consistency, RAMCloud)", false, false},
-		{"async RPC (relaxed consistency)", true, false},
-		{"one-sided RDMA (strong, zero backup CPU)", false, true},
-	}
-	for _, mode := range modes {
-		p := o.Profile
-		p.Server.AsyncReplication = mode.async
-		p.Server.RDMAReplication = mode.rdma
-		r := runMemo(Scenario{
-			Name:              fmt.Sprintf("consistency-async=%v-rdma=%v", mode.async, mode.rdma),
-			Profile:           p,
-			Servers:           20,
-			Clients:           30,
-			RF:                3,
-			Workload:          ycsb.WorkloadA(100_000, 1024),
-			RequestsPerClient: o.requests(10_000),
-			Seed:              o.Seed,
-		})
+	for _, mode := range consistencyModes {
+		r := runMemo(consistencyScenario(o, mode.async, mode.rdma))
 		t.Rows = append(t.Rows, []string{mode.name, kops(r.Throughput),
 			fmt.Sprintf("%.1f", r.AvgPowerPerServer), fmt.Sprintf("%.0f", r.OpsPerJoule)})
 	}
@@ -236,6 +311,36 @@ func runConsistencyAblation(o Options) *ExpResult {
 	return res
 }
 
+func distScenario(o Options, wl string, dist ycsb.Distribution) Scenario {
+	w := workloadFor(wl, 100_000, 1024)
+	w.Dist = dist
+	name := "uniform"
+	if dist == ycsb.Zipfian {
+		name = "zipfian"
+	}
+	return Scenario{
+		Name:              "dist-" + wl + "-" + name,
+		Profile:           o.Profile,
+		Servers:           10,
+		Clients:           30,
+		RF:                0,
+		Workload:          w,
+		RequestsPerClient: o.requests(10_000),
+		Seed:              o.Seed,
+	}
+}
+
+func distGrid(o Options) []Scenario {
+	o = o.normalize()
+	var out []Scenario
+	for _, wl := range []string{"C", "B"} {
+		for _, dist := range []ycsb.Distribution{ycsb.Uniform, ycsb.Zipfian} {
+			out = append(out, distScenario(o, wl, dist))
+		}
+	}
+	return out
+}
+
 func runDistributionStudy(o Options) *ExpResult {
 	o = o.normalize()
 	res := &ExpResult{ID: "dist", Title: "Request-distribution study (Sec. X future work)",
@@ -243,22 +348,11 @@ func runDistributionStudy(o Options) *ExpResult {
 	t := Table{Header: []string{"workload", "distribution", "throughput", "read p99 (us)"}}
 	for _, wl := range []string{"C", "B"} {
 		for _, dist := range []ycsb.Distribution{ycsb.Uniform, ycsb.Zipfian} {
-			w := workloadFor(wl, 100_000, 1024)
-			w.Dist = dist
+			r := runMemo(distScenario(o, wl, dist))
 			name := "uniform"
 			if dist == ycsb.Zipfian {
 				name = "zipfian"
 			}
-			r := runMemo(Scenario{
-				Name:              "dist-" + wl + "-" + name,
-				Profile:           o.Profile,
-				Servers:           10,
-				Clients:           30,
-				RF:                0,
-				Workload:          w,
-				RequestsPerClient: o.requests(10_000),
-				Seed:              o.Seed,
-			})
 			t.Rows = append(t.Rows, []string{wl, name, kops(r.Throughput),
 				fmt.Sprintf("%.1f", float64(r.ReadLatency.Quantile(0.99))/1000)})
 		}

@@ -10,15 +10,15 @@ import (
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 28 {
-		t.Fatalf("experiments = %d, want 28", len(exps))
+	if len(exps) != 29 {
+		t.Fatalf("experiments = %d, want 29", len(exps))
 	}
 	// Paper ordering is preserved by Order: the original 26 artifacts
 	// first (fig1a ... batch), then the registered extensions.
 	wantOrder := []string{"fig1a", "fig1b", "fig2", "table1", "table2", "fig3", "fig4a", "fig4b",
 		"fig5", "fig6a", "fig6b", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11a", "fig11b",
 		"fig12", "fig13", "seg", "cleaner", "consistency", "scatter", "dist", "batch",
-		"loadshape", "mixed"}
+		"loadshape", "mixed", "latload"}
 	for i, e := range exps {
 		if e.ID != wantOrder[i] {
 			t.Fatalf("experiment %d = %q, want %q (paper order broken)", i, e.ID, wantOrder[i])
@@ -28,6 +28,11 @@ func TestExperimentRegistry(t *testing.T) {
 	for _, e := range exps {
 		if e.ID == "" || e.Title == "" || e.Setup == "" || e.Run == nil {
 			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		// Every grid-driven experiment must enumerate its scenarios so the
+		// parallel prewarm covers it; fig10 drives a custom simulation.
+		if e.Scenarios == nil && e.ID != "fig10" {
+			t.Errorf("experiment %q declares no Scenarios (prewarm cannot parallelize it)", e.ID)
 		}
 		if seen[e.ID] {
 			t.Errorf("duplicate experiment id %q", e.ID)

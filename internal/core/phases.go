@@ -67,6 +67,11 @@ type ClientGroup struct {
 	// requests remain. Together they stagger tenants within one run.
 	Start sim.Duration
 	Stop  sim.Duration
+
+	// Warmup fetches the tablet map before the group's first operation
+	// (see ycsb.RunOptions.Warmup). Latency-vs-load sweeps set it so the
+	// first arrivals ride a warm route instead of parking RPC-less.
+	Warmup bool
 }
 
 // mode resolves ArrivalDefault against the group's knobs.
@@ -233,6 +238,7 @@ func (s Scenario) runOptionsFor(g ClientGroup, table uint64, clientIdx int) ycsb
 		Requests: g.RequestsPerClient,
 		Rate:     g.Rate,
 		Seed:     s.Seed + int64(clientIdx)*7919,
+		Warmup:   g.Warmup,
 	}
 	// The resolved arrival mode is authoritative: only its knobs are
 	// forwarded, so a group declared closed never silently batches and a

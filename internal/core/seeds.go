@@ -8,6 +8,13 @@ import "ramcloud/internal/metrics"
 // (the scenario's own Seed wins when set) and o.Profile fills in a
 // scenario without one, so a seed sweep measures exactly what a
 // same-options experiment run would.
+//
+// The per-seed runs execute on a worker pool sized by Parallelism() (the
+// -j flag of the cmd binaries). Each run is reduced to its four summary
+// scalars as soon as it completes — at most Parallelism() full Results
+// are live at once — and the scalars are folded into the distributions in
+// ascending seed order, so the sweep's statistics are bit-identical
+// whether it ran on one worker or many.
 func RunSeeds(s Scenario, n int, o Options) *SeedSweep {
 	o = o.normalize()
 	sweep := &SeedSweep{Scenario: s.Name, Runs: n}
@@ -18,14 +25,32 @@ func RunSeeds(s Scenario, n int, o Options) *SeedSweep {
 	if base == 0 {
 		base = o.Seed
 	}
-	for i := 0; i < n; i++ {
-		s.Seed = base + int64(i)*104729
-		r := Run(s)
-		sweep.Throughput.Add(r.Throughput)
-		sweep.PowerPerServer.Add(r.AvgPowerPerServer)
-		sweep.OpsPerJoule.Add(r.OpsPerJoule)
-		if r.Recovered {
-			sweep.RecoverySeconds.Add(r.RecoveryTime.Seconds())
+	type point struct {
+		throughput float64
+		power      float64
+		opsPerJ    float64
+		recovery   float64
+		recovered  bool
+	}
+	pts := make([]point, n)
+	NewRunner(0).each(n, func(i int) {
+		run := s
+		run.Seed = base + int64(i)*104729
+		r := Run(run)
+		pts[i] = point{
+			throughput: r.Throughput,
+			power:      r.AvgPowerPerServer,
+			opsPerJ:    r.OpsPerJoule,
+			recovery:   r.RecoveryTime.Seconds(),
+			recovered:  r.Recovered,
+		}
+	})
+	for _, p := range pts {
+		sweep.Throughput.Add(p.throughput)
+		sweep.PowerPerServer.Add(p.power)
+		sweep.OpsPerJoule.Add(p.opsPerJ)
+		if p.recovered {
+			sweep.RecoverySeconds.Add(p.recovery)
 		}
 	}
 	return sweep

@@ -125,6 +125,11 @@ func (ep *Endpoint) StartCall(to simnet.NodeID, msg wire.Message) Call {
 // Done reports whether the response has arrived.
 func (c *Call) Done() bool { return c.f.IsSet() }
 
+// ResolvedAt returns the virtual time the response arrived, or zero while
+// the call is still in flight. Lazy reapers (async clients) use it to
+// record latency to the response's arrival rather than to the reap.
+func (c *Call) ResolvedAt() sim.Time { return c.f.ResolvedAt() }
+
 // Wait blocks until the response arrives. It never gives up; use
 // WaitTimeout when the peer may be dead.
 func (c *Call) Wait(p *sim.Proc) wire.Message { return c.f.Get(p) }

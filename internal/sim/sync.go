@@ -172,6 +172,7 @@ type futureWaiter struct {
 type Future[T any] struct {
 	eng     *Engine
 	set     bool
+	setAt   Time
 	val     T
 	waiting []futureWaiter
 }
@@ -189,6 +190,7 @@ func (f *Future[T]) Set(v T) {
 		panic("sim: Future set twice")
 	}
 	f.set = true
+	f.setAt = f.eng.now
 	f.val = v
 	for _, w := range f.waiting {
 		if w.tm != nil {
@@ -198,6 +200,12 @@ func (f *Future[T]) Set(v T) {
 	}
 	f.waiting = nil
 }
+
+// ResolvedAt returns the virtual time Set was called, or zero while the
+// future is unset. A caller that polls Done/IsSet and collects the value
+// later can attribute the completion to its true instant rather than the
+// observation instant.
+func (f *Future[T]) ResolvedAt() Time { return f.setAt }
 
 // Get blocks until the future is set and returns its value.
 func (f *Future[T]) Get(p *Proc) T {

@@ -246,6 +246,13 @@ type RunOptions struct {
 	// even if Requests have not been exhausted; in-flight operations are
 	// still awaited. With Requests <= 0 the run is bounded by Stop alone.
 	Stop sim.Time
+
+	// Warmup fetches the tablet map before the first operation. Async
+	// issue paths (OpenLoop, Window) start an op's RPC at issue only when
+	// the map already routes its key; without a warmup the ops issued
+	// before the first forced reap all park RPC-less and surface as a
+	// spurious latency band, which would corrupt a latency-vs-load sweep.
+	Warmup bool
 }
 
 // RunResult summarizes one client's run.
@@ -269,6 +276,9 @@ func RunClient(p *sim.Proc, c *client.Client, w Workload, opts RunOptions) RunRe
 		th = NewVarThrottle(opts.RateFunc)
 	}
 	var res RunResult
+	if opts.Warmup {
+		c.WarmRoutes(p)
+	}
 	start := p.Now()
 	switch {
 	case opts.OpenLoop:

@@ -29,6 +29,12 @@
 // All time inside the simulation is virtual: a million operations cost
 // milliseconds of wall clock, and runs are fully deterministic for a
 // given seed.
+//
+// Experiment regeneration executes its scenario grids on a worker pool of
+// up to Parallelism() concurrent simulations and memoizes every distinct
+// scenario's result process-wide (see RunExperiment); long-lived
+// embedders call ResetExperimentCache between batches to bound that
+// cache's growth.
 package ramcloud
 
 import (
@@ -668,11 +674,44 @@ func ExperimentIDs() []string {
 // RunExperiment regenerates one paper table/figure and returns its
 // rendered result. Scale 1.0 is the standard reproduction scale; larger
 // values approach paper-scale run lengths.
+//
+// The experiment's scenario grid executes on a worker pool of
+// Parallelism() concurrent simulations (the rendering itself is serial
+// and byte-identical at any parallelism level), and identical scenarios
+// are memoized process-wide: a second RunExperiment sharing cells with an
+// earlier one does not re-simulate them. Long-lived embedders rendering
+// many distinct experiments should call ResetExperimentCache between
+// batches to release the accumulated results.
 func RunExperiment(id string, scale float64, seed int64) (string, error) {
 	e, ok := core.ByID(id)
 	if !ok {
 		return "", fmt.Errorf("%w: %q (see ExperimentIDs)", ErrUnknownExperiment, id)
 	}
-	res := e.Run(core.Options{Scale: scale, Seed: seed})
+	opts := core.Options{Scale: scale, Seed: seed}
+	if core.Parallelism() > 1 {
+		core.NewRunner(0).Prewarm([]core.Experiment{e}, opts)
+	}
+	res := e.Run(opts)
 	return res.Render(), nil
 }
+
+// Parallelism returns the process-wide bound on concurrent scenario
+// simulations (GOMAXPROCS unless SetParallelism overrode it). It governs
+// RunExperiment's scenario prewarm and core seed sweeps; single scenario
+// runs (RunScenario, Simulation) are one simulation regardless.
+func Parallelism() int { return core.Parallelism() }
+
+// SetParallelism bounds concurrent scenario simulations process-wide;
+// n <= 0 restores the GOMAXPROCS default. It returns the previous
+// setting (0 = GOMAXPROCS). Each in-flight simulation holds a full
+// cluster plus its measurement series, so the bound is also the peak-
+// memory budget of a sweep.
+func SetParallelism(n int) int { return core.SetParallelism(n) }
+
+// ResetExperimentCache drops every memoized experiment scenario result.
+// The cache is process-global and grows with every distinct scenario a
+// RunExperiment call simulates — a long-lived embedder that renders many
+// experiments (or the same experiments at many scales or seeds) should
+// reset it between batches; the next RunExperiment then re-simulates
+// from scratch. Concurrent in-flight runs are unaffected.
+func ResetExperimentCache() { core.ResetMemo() }
