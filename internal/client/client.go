@@ -40,6 +40,24 @@ type Config struct {
 	// overhead). Batching amortizes request generation, which is why a
 	// batched client can exceed the paper's closed-loop per-client rate.
 	BatchItemOverhead sim.Duration
+
+	// Backoff, when its Base is non-zero, replaces the fixed RetryBackoff
+	// pacing with capped exponential backoff plus deterministic jitter and
+	// also paces timeout retries (which legacy clients retry immediately).
+	// Zero Base keeps the legacy behaviour exactly.
+	Backoff BackoffConfig
+}
+
+// BackoffConfig tunes capped exponential retry backoff. Delay n is
+// Base * Multiplier^n, clamped to Cap, then jittered by a uniform factor in
+// [1-JitterFrac, 1+JitterFrac] drawn from the client's private deterministic
+// sequence (never the engine RNG, so enabling backoff cannot perturb any
+// other random choice in the simulation).
+type BackoffConfig struct {
+	Base       sim.Duration
+	Cap        sim.Duration
+	Multiplier float64 // <=1 means 2
+	JitterFrac float64
 }
 
 // DefaultConfig mirrors the calibrated YCSB client behaviour.
@@ -87,17 +105,73 @@ type Client struct {
 
 	tablets []wire.Tablet
 	stats   *Stats
+
+	// boState drives the backoff jitter sequence: a splitmix64 stream
+	// seeded from the client's address, so jitter is deterministic per
+	// client and independent of everything else.
+	boState uint64
 }
 
 // New creates a client attached to the fabric at addr.
 func New(e *sim.Engine, net *simnet.Network, addr simnet.NodeID, coord simnet.NodeID, cfg Config) *Client {
 	return &Client{
-		eng:   e,
-		ep:    rpc.NewEndpoint(e, net, addr),
-		coord: coord,
-		cfg:   cfg,
-		stats: NewStats(),
+		eng:     e,
+		ep:      rpc.NewEndpoint(e, net, addr),
+		coord:   coord,
+		cfg:     cfg,
+		stats:   NewStats(),
+		boState: uint64(addr)*0x9E3779B97F4A7C15 + 1,
 	}
+}
+
+// nextJitter draws the next uniform [0,1) value from the client's private
+// jitter stream (splitmix64).
+func (c *Client) nextJitter() float64 {
+	c.boState += 0x9E3779B97F4A7C15
+	z := c.boState
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// backoffDelay returns the n-th (0-based) consecutive-failure delay under
+// the capped exponential policy.
+func (c *Client) backoffDelay(n int) sim.Duration {
+	b := c.cfg.Backoff
+	mult := b.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	d := float64(b.Base)
+	for i := 0; i < n; i++ {
+		d *= mult
+		if b.Cap > 0 && d >= float64(b.Cap) {
+			break
+		}
+	}
+	if b.Cap > 0 && d > float64(b.Cap) {
+		d = float64(b.Cap)
+	}
+	if b.JitterFrac > 0 {
+		d *= 1 + b.JitterFrac*(2*c.nextJitter()-1)
+	}
+	if d < 1 {
+		d = 1
+	}
+	return sim.Duration(d)
+}
+
+// retryPause sleeps before the next attempt: capped exponential backoff
+// when configured, else the legacy fixed RetryBackoff.
+func (c *Client) retryPause(p *sim.Proc, fails int) {
+	if c.cfg.Backoff.Base > 0 {
+		p.Sleep(c.backoffDelay(fails))
+		return
+	}
+	p.Sleep(c.cfg.RetryBackoff)
 }
 
 // Stats returns the client's measurement sink.

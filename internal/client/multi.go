@@ -169,7 +169,7 @@ func (c *Client) multiExec(p *sim.Proc, table uint64, hashes []uint64, out []Mul
 			c.refreshTablets(p)
 		}
 		if round.backoff && len(round.retry) > 0 {
-			p.Sleep(c.cfg.RetryBackoff)
+			c.retryPause(p, attempt)
 		}
 		pending = round.retry
 	}

@@ -147,6 +147,7 @@ func (o *Op) Wait(p *sim.Proc) (valueLen uint32, value []byte, err error) {
 		return o.resultLen, o.resultVal, o.err
 	}
 	c := o.c
+	fails := 0 // consecutive retryable failures, drives exponential backoff
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if !o.inflight {
 			master, recovering, found := c.locate(o.table, o.keyHash)
@@ -169,6 +170,13 @@ func (o *Op) Wait(p *sim.Proc) (valueLen uint32, value []byte, err error) {
 		o.inflight = false
 		if !ok {
 			c.stats.Timeouts.Inc()
+			if c.cfg.Backoff.Base > 0 {
+				// Legacy clients retry a timeout immediately (the refresh
+				// round trip is their only pacing); hardened clients back
+				// off so a lossy fabric is not amplified by retries.
+				p.Sleep(c.backoffDelay(fails))
+				fails++
+			}
 			c.refreshTablets(p)
 			continue
 		}
@@ -181,7 +189,8 @@ func (o *Op) Wait(p *sim.Proc) (valueLen uint32, value []byte, err error) {
 			if o.kind == opWrite {
 				// A write never legitimately sees UnknownKey; retry it.
 				c.stats.Retries.Inc()
-				p.Sleep(c.cfg.RetryBackoff)
+				c.retryPause(p, fails)
+				fails++
 				continue
 			}
 			c.recordCompleted(o.start, o.call.ResolvedAt(), o.hist())
@@ -189,9 +198,11 @@ func (o *Op) Wait(p *sim.Proc) (valueLen uint32, value []byte, err error) {
 		case wire.StatusWrongServer:
 			c.stats.Retries.Inc()
 			c.refreshTablets(p)
+			fails = 0 // progress: the map moved, not a failure of the op
 		default:
 			c.stats.Retries.Inc()
-			p.Sleep(c.cfg.RetryBackoff)
+			c.retryPause(p, fails)
+			fails++
 		}
 	}
 	c.stats.Failures.Inc()

@@ -23,6 +23,14 @@ type Config struct {
 	PingInterval  sim.Duration // gap between probes to one server
 	PingTimeout   sim.Duration // per-probe response deadline
 	MissThreshold int          // consecutive misses before declaring death
+
+	// EnforceDeath kills a server the moment it is declared dead, even if
+	// the declaration was a false positive (a live server that missed
+	// pings while overloaded). False means the legacy behaviour: the
+	// declaration is recorded and recovery runs, but a live "dead" server
+	// keeps serving. Chaos profiles enable enforcement so a trigger-happy
+	// detector has a visible cost instead of a silent split-brain.
+	EnforceDeath bool
 }
 
 // DefaultConfig returns a detector that declares death within ~1 second.
@@ -85,6 +93,16 @@ type Coordinator struct {
 	recoveries map[int32]*recoveryState
 	records    []RecoveryRecord
 
+	// Detector bookkeeping: every ping miss is a suspicion; a death
+	// declared against a server that was actually alive is a false
+	// positive (it is still enforced — see declareDead).
+	suspicions     int64
+	falsePositives int64
+
+	// Re-spread bookkeeping (rejoin.go).
+	respreadsPending int
+	tabletsMigrated  int64
+
 	onDeath func(id int32) // test/experiment hook
 }
 
@@ -114,6 +132,18 @@ func (c *Coordinator) Records() []RecoveryRecord {
 
 // SetOnDeath installs a hook invoked when a server is declared dead.
 func (c *Coordinator) SetOnDeath(fn func(id int32)) { c.onDeath = fn }
+
+// Suspicions returns the number of ping misses the detector has seen.
+func (c *Coordinator) Suspicions() int64 { return c.suspicions }
+
+// FalsePositives returns how many declared deaths hit a live server.
+func (c *Coordinator) FalsePositives() int64 { return c.falsePositives }
+
+// RespreadsPending returns the number of rejoin re-spreads still running.
+func (c *Coordinator) RespreadsPending() int { return c.respreadsPending }
+
+// TabletsMigrated returns the number of tablets moved by rejoin re-spreads.
+func (c *Coordinator) TabletsMigrated() int64 { return c.tabletsMigrated }
 
 // AddServer registers a server with the coordinator's configuration plane
 // (the equivalent of server enlistment at cluster bring-up).
@@ -296,6 +326,7 @@ func (c *Coordinator) pingLoop(p *sim.Proc, id int32) {
 			continue
 		}
 		info.misses++
+		c.suspicions++
 		if info.misses >= c.cfg.MissThreshold {
 			c.declareDead(id)
 			return

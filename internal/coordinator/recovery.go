@@ -24,6 +24,18 @@ func (c *Coordinator) declareDead(id int32) {
 		return
 	}
 	info.alive = false
+	// Declaring a live server dead is a detector false positive. With
+	// EnforceDeath the coordinator also kills the process (RAMCloud's
+	// "server is dead once we say so" rule — no split-brain); without it
+	// the declaration is only recorded, matching the calibrated paper
+	// renderings where replay-overloaded servers can be spuriously
+	// declared without losing their replay work.
+	if s := c.registry[id]; s != nil && !s.Dead() {
+		c.falsePositives++
+		if c.cfg.EnforceDeath {
+			s.Kill()
+		}
+	}
 	if c.onDeath != nil {
 		c.onDeath(id)
 	}

@@ -1,0 +1,151 @@
+package coordinator
+
+import (
+	"fmt"
+	"sort"
+
+	"ramcloud/internal/server"
+	"ramcloud/internal/sim"
+	"ramcloud/internal/wire"
+)
+
+// This file implements server rejoin: a restarted server re-enlists with
+// the coordinator, which re-admits it (fresh registry entry, ping loop
+// restarted, peers clear their dead marks) and then re-spreads load onto it
+// by migrating tablets from the most-loaded masters until the newcomer
+// holds a fair share.
+
+const migrateTimeout = 30 * sim.Second
+
+// Readmit re-enlists a restarted server. The caller has already rebuilt
+// the server process (fresh Server on the same node and fabric address) and
+// started it; Readmit flips coordinator-side state and kicks off the
+// re-spread in its own proc. RespreadsPending reflects the re-spread
+// immediately, so a caller observing Readmit's return can wait on it.
+func (c *Coordinator) Readmit(s *server.Server) {
+	id := s.ID()
+	info := c.servers[id]
+	if info == nil {
+		c.AddServer(s)
+		info = c.servers[id]
+	} else {
+		c.registry[id] = s
+		info.addr = s.Addr()
+	}
+	info.will = nil // the old will described data the restart lost
+	info.misses = 0
+	if !info.alive {
+		info.alive = true
+		c.eng.Go(fmt.Sprintf("coord-ping-%d", id), func(p *sim.Proc) { c.pingLoop(p, id) })
+	}
+	// Peers that saw replication timeouts while the server was down hold a
+	// permanent dead mark; clear it so the newcomer hosts replicas again.
+	for _, sid := range c.order {
+		if sid == id {
+			continue
+		}
+		if peer := c.registry[sid]; peer != nil && c.servers[sid].alive {
+			peer.PeerRejoined(s.Addr())
+		}
+	}
+	c.respreadsPending++
+	c.eng.Go(fmt.Sprintf("coord-respread-%d", id), func(p *sim.Proc) {
+		defer func() { c.respreadsPending-- }()
+		c.rebalanceToward(p, id)
+	})
+}
+
+// rebalanceToward migrates tablets from the most-loaded masters to target
+// until target holds at least the floor of a fair share. One tablet moves
+// at a time; state is recomputed between moves because recoveries and
+// client-driven table changes may run concurrently.
+func (c *Coordinator) rebalanceToward(p *sim.Proc, target int32) {
+	for {
+		tableIDs := make([]uint64, 0, len(c.tablets))
+		for tid := range c.tablets {
+			tableIDs = append(tableIDs, tid)
+		}
+		sort.Slice(tableIDs, func(i, j int) bool { return tableIDs[i] < tableIDs[j] })
+
+		counts := make(map[int32]int)
+		total := 0
+		for _, tid := range tableIDs {
+			for _, t := range c.tablets[tid] {
+				if t.Recovering {
+					continue
+				}
+				counts[t.Master]++
+				total++
+			}
+		}
+		alive := c.AliveServers()
+		if len(alive) == 0 || total == 0 {
+			return
+		}
+		fair := total / len(alive)
+		if counts[target] >= fair || fair == 0 {
+			return
+		}
+
+		// Donor: most tablets, lowest id on ties. Must be alive, not the
+		// target, and have something to spare.
+		var donor int32 = -1
+		for _, id := range alive {
+			if id == target {
+				continue
+			}
+			if donor < 0 || counts[id] > counts[donor] {
+				donor = id
+			}
+		}
+		if donor < 0 || counts[donor] <= counts[target]+1 {
+			return // moving one more would just swap the imbalance
+		}
+
+		// First donor-owned tablet in deterministic map order.
+		var pickTable uint64
+		var pick *wire.Tablet
+		for _, tid := range tableIDs {
+			ts := c.tablets[tid]
+			for i := range ts {
+				if ts[i].Master == donor && !ts[i].Recovering {
+					pickTable, pick = tid, &ts[i]
+					break
+				}
+			}
+			if pick != nil {
+				break
+			}
+		}
+		if pick == nil {
+			return
+		}
+		rng := *pick // the slice may be reallocated while we wait
+		resp, ok := c.ep.CallTimeout(p, c.servers[donor].addr, &wire.MigrateTabletReq{
+			Table:     rng.Table,
+			FirstHash: rng.StartHash,
+			LastHash:  rng.EndHash,
+			Dst:       target,
+		}, migrateTimeout)
+		if !ok {
+			return
+		}
+		mr, good := resp.(*wire.MigrateTabletResp)
+		if !good || mr.Status != wire.StatusOK {
+			return
+		}
+		// The source has dropped the range; hand it to the target and flip
+		// the map so client refreshes re-route.
+		if dst := c.registry[target]; dst != nil {
+			dst.AssignTablet(wire.Tablet{Table: pickTable, StartHash: rng.StartHash, EndHash: rng.EndHash})
+		}
+		for i := range c.tablets[pickTable] {
+			t := &c.tablets[pickTable][i]
+			if t.StartHash == rng.StartHash && t.EndHash == rng.EndHash && t.Master == donor {
+				t.Master = target
+				break
+			}
+		}
+		c.tabletsMigrated++
+	}
+}

@@ -41,6 +41,9 @@ type Cluster struct {
 
 	Clients []*client.Client
 
+	addrs []simnet.NodeID // server fabric addresses, by index
+	rf    int             // replication factor servers were built with
+
 	meter   *sim.Ticker
 	started bool
 }
@@ -69,6 +72,8 @@ func NewCluster(eng *sim.Engine, p Profile, n int, replicationFactor int) *Clust
 		c.Coord.AddServer(srv)
 		addrs = append(addrs, srv.Addr())
 	}
+	c.addrs = addrs
+	c.rf = replicationFactor
 	for i, srv := range c.Servers {
 		srv.SetPeers(addrs)
 		srv.SetRegistry(c.Coord.Registry())
@@ -154,6 +159,31 @@ func (c *Cluster) BulkLoad(table uint64, records, recordSize int) {
 // detector will notice within its ping budget.
 func (c *Cluster) KillServer(i int) {
 	c.Servers[i].Kill()
+}
+
+// RestartServer rebuilds a killed server process on its original node and
+// fabric address, starts it and re-admits it with the coordinator (which
+// re-spreads tablets onto it). The restarted process is empty: DRAM
+// contents and backup replica metadata died with the old process, exactly
+// like a real restart. Returns false if the server was not dead.
+func (c *Cluster) RestartServer(i int) bool {
+	if !c.Servers[i].Dead() {
+		return false
+	}
+	addr := c.addrs[i]
+	c.Net.Detach(addr)
+	c.Net.SetDown(addr, false)
+	c.Nodes[i].Revive()
+
+	srvCfg := c.Profile.Server
+	srvCfg.ReplicationFactor = c.rf
+	srv := server.New(c.Eng, c.Nodes[i], c.Net, c.Disks[i], CoordinatorAddr, srvCfg)
+	srv.SetPeers(c.addrs)
+	srv.SetRegistry(c.Coord.Registry())
+	c.Servers[i] = srv
+	srv.Start()
+	c.Coord.Readmit(srv)
+	return true
 }
 
 // LiveBytesOn returns the live log bytes held by server index i.

@@ -10,15 +10,15 @@ import (
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 29 {
-		t.Fatalf("experiments = %d, want 29", len(exps))
+	if len(exps) != 31 {
+		t.Fatalf("experiments = %d, want 31", len(exps))
 	}
 	// Paper ordering is preserved by Order: the original 26 artifacts
 	// first (fig1a ... batch), then the registered extensions.
 	wantOrder := []string{"fig1a", "fig1b", "fig2", "table1", "table2", "fig3", "fig4a", "fig4b",
 		"fig5", "fig6a", "fig6b", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11a", "fig11b",
 		"fig12", "fig13", "seg", "cleaner", "consistency", "scatter", "dist", "batch",
-		"loadshape", "mixed", "latload"}
+		"loadshape", "mixed", "latload", "faultload", "lossy"}
 	for i, e := range exps {
 		if e.ID != wantOrder[i] {
 			t.Fatalf("experiment %d = %q, want %q (paper order broken)", i, e.ID, wantOrder[i])

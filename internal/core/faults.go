@@ -1,0 +1,177 @@
+package core
+
+import (
+	"ramcloud/internal/sim"
+	"ramcloud/internal/simnet"
+)
+
+// FaultKind enumerates the scheduled fault events a scenario can inject.
+type FaultKind int
+
+// Fault kinds. Start at one so a zero value is detectably invalid.
+const (
+	// FaultKill crashes server Target at At (the generalization of the
+	// legacy KillAfter/KillTarget pair).
+	FaultKill FaultKind = iota + 1
+	// FaultRestart restarts a previously killed server Target: the process
+	// comes back empty on the same node and address, re-enlists with the
+	// coordinator and receives a fair share of tablets by migration.
+	FaultRestart
+	// FaultPartition isolates the servers listed in Peers from everyone
+	// else (symmetric drop) until a FaultHeal.
+	FaultPartition
+	// FaultHeal removes the active partition.
+	FaultHeal
+	// FaultLoss opens a packet-loss/duplication/jitter window: on the
+	// frontend links (every client plus the coordinator) when Target < 0,
+	// or on server Target's links otherwise. Until closes the window; zero
+	// keeps it for the rest of the run.
+	FaultLoss
+	// FaultSlow is FaultLoss with intent: a slow-node episode expressed as
+	// delay jitter on one server's links. Same mechanics, separate kind so
+	// schedules read naturally.
+	FaultSlow
+)
+
+// FaultEvent is one scheduled fault.
+type FaultEvent struct {
+	At   sim.Duration
+	Kind FaultKind
+
+	// Target is a server index for Kill/Restart/Loss/Slow. For Loss/Slow,
+	// -1 targets the frontend links instead (clients + coordinator).
+	Target int
+
+	// Peers lists server indexes for FaultPartition (the isolated side).
+	Peers []int
+
+	// Stochastic impairment parameters for Loss/Slow windows.
+	Loss   float64
+	Dup    float64
+	Jitter sim.Duration
+
+	// Until ends a Loss/Slow window. Zero means never.
+	Until sim.Duration
+}
+
+// faultSchedule returns the scenario's effective fault schedule: the
+// explicit Faults when present, else the legacy KillAfter/KillTarget pair
+// lowered onto a single FaultKill, else nil.
+func (s *Scenario) faultSchedule() []FaultEvent {
+	if len(s.Faults) > 0 {
+		return s.Faults
+	}
+	if s.KillAfter > 0 {
+		return []FaultEvent{{At: s.KillAfter, Kind: FaultKill, Target: s.KillTarget}}
+	}
+	return nil
+}
+
+// resolveTarget maps a fault target to a server index, applying the legacy
+// convention: negative picks one deterministically from the seed.
+func (s *Scenario) resolveTarget(target int) int {
+	if target < 0 {
+		target = int(s.Seed) % s.Servers
+		if target < 0 {
+			target += s.Servers
+		}
+	}
+	return target
+}
+
+// stochastic reports whether the schedule needs the fabric's fault RNG.
+func stochastic(faults []FaultEvent) bool {
+	for _, ev := range faults {
+		if ev.Kind == FaultLoss || ev.Kind == FaultSlow {
+			return true
+		}
+	}
+	return false
+}
+
+// frontendAddrs returns every client address plus the coordinator's: the
+// links a FaultLoss with Target < 0 impairs. Server-to-server replication
+// links are deliberately excluded — masters permanently blacklist a backup
+// after a replication timeout, so sustained random loss there would degrade
+// durability as a side effect rather than measure the retry paths.
+func frontendAddrs(cl *Cluster) []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(cl.Clients)+1)
+	for _, c := range cl.Clients {
+		out = append(out, c.Addr())
+	}
+	out = append(out, CoordinatorAddr)
+	return out
+}
+
+// armFaults schedules every fault event against the running cluster. Called
+// after clients exist (frontend addressing) and before eng.Run.
+func armFaults(eng *sim.Engine, cl *Cluster, s *Scenario, faults []FaultEvent, res *Result) {
+	if stochastic(faults) {
+		cl.Net.SeedFaults(s.Seed)
+	}
+	for _, ev := range faults {
+		ev := ev
+		switch ev.Kind {
+		case FaultKill:
+			target := s.resolveTarget(ev.Target)
+			eng.Schedule(ev.At, func() {
+				if res.KilledAt == 0 {
+					res.KilledAt = eng.Now()
+				}
+				cl.KillServer(target)
+			})
+		case FaultRestart:
+			target := s.resolveTarget(ev.Target)
+			eng.Schedule(ev.At, func() {
+				if cl.RestartServer(target) {
+					res.Rejoined = true
+					res.RejoinedAt = eng.Now()
+				}
+			})
+		case FaultPartition:
+			side := make([]simnet.NodeID, 0, len(ev.Peers))
+			for _, i := range ev.Peers {
+				side = append(side, cl.Servers[s.resolveTarget(i)].Addr())
+			}
+			eng.Schedule(ev.At, func() { cl.Net.Partition(side) })
+		case FaultHeal:
+			eng.Schedule(ev.At, func() { cl.Net.Heal() })
+		case FaultLoss, FaultSlow:
+			model := simnet.FaultModel{Loss: ev.Loss, Dup: ev.Dup, Jitter: ev.Jitter}
+			var addrs []simnet.NodeID
+			if ev.Target < 0 {
+				addrs = frontendAddrs(cl)
+			} else {
+				addrs = []simnet.NodeID{cl.Servers[ev.Target].Addr()}
+			}
+			eng.Schedule(ev.At, func() {
+				for _, a := range addrs {
+					cl.Net.SetNodeFaults(a, model)
+				}
+			})
+			if ev.Until > ev.At {
+				eng.Schedule(ev.Until, func() {
+					for _, a := range addrs {
+						cl.Net.SetNodeFaults(a, simnet.FaultModel{})
+					}
+				})
+			}
+		}
+	}
+}
+
+// faultCounts summarizes a schedule for the run controller.
+func faultCounts(faults []FaultEvent) (kills, restarts int, lastRestart sim.Duration) {
+	for _, ev := range faults {
+		switch ev.Kind {
+		case FaultKill:
+			kills++
+		case FaultRestart:
+			restarts++
+			if ev.At > lastRestart {
+				lastRestart = ev.At
+			}
+		}
+	}
+	return kills, restarts, lastRestart
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"testing"
+
+	"ramcloud/internal/sim"
+	"ramcloud/internal/simnet"
+	"ramcloud/internal/ycsb"
+)
+
+// idleRun lets the cluster sit for d of simulated time, then stops.
+func idleRun(eng *sim.Engine, cl *Cluster, d sim.Duration) {
+	eng.Go("idle", func(p *sim.Proc) {
+		p.Sleep(d)
+		cl.StopMetering()
+		eng.Stop()
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+// TestDetectorZeroFalsePositivesAtLowLoss injects 1% loss on the
+// coordinator's links — every failure-detector ping and ack rides them —
+// and verifies that 60 seconds of windows produce suspicions but no
+// declared deaths: one miss is common, three consecutive misses at 1%
+// loss is a ~1e-5 event per window.
+func TestDetectorZeroFalsePositivesAtLowLoss(t *testing.T) {
+	eng := sim.New(11)
+	cl := NewCluster(eng, smallProfile(), 3, 0)
+	cl.Start()
+	cl.Net.SeedFaults(11)
+	cl.Net.SetNodeFaults(CoordinatorAddr, simnet.FaultModel{Loss: 0.01})
+	idleRun(eng, cl, 60*sim.Second)
+
+	if fp := cl.Coord.FalsePositives(); fp != 0 {
+		t.Fatalf("false positives = %d at 1%% loss, want 0", fp)
+	}
+	if n := len(cl.Coord.AliveServers()); n != 3 {
+		t.Fatalf("alive = %d, want 3", n)
+	}
+	if cl.Coord.Suspicions() == 0 {
+		t.Fatal("no suspicions recorded — loss never hit the ping path")
+	}
+	if cl.Net.DroppedByFault() == 0 {
+		t.Fatal("no messages dropped — fault model not applied")
+	}
+}
+
+// TestDetectorDeclaresDeadUnderExtremeLoss drowns the coordinator's links
+// in 60% loss: three consecutive misses become likely (~0.59 per window),
+// so the detector must declare deaths — and enforce them, so a falsely
+// declared server is really dead afterwards (no split-brain).
+func TestDetectorDeclaresDeadUnderExtremeLoss(t *testing.T) {
+	eng := sim.New(12)
+	p := smallProfile()
+	p.Coordinator.EnforceDeath = true
+	cl := NewCluster(eng, p, 3, 2)
+	cl.Start()
+	table := cl.CreateTable("t")
+	cl.BulkLoad(table, 300, 512)
+	cl.Net.SeedFaults(12)
+	cl.Net.SetNodeFaults(CoordinatorAddr, simnet.FaultModel{Loss: 0.6})
+	idleRun(eng, cl, 30*sim.Second)
+
+	fp := cl.Coord.FalsePositives()
+	if fp == 0 {
+		t.Fatal("no false positives at 60% loss — detector never fired")
+	}
+	// Enforcement: every false positive killed a live server, so the dead
+	// count and the false-positive count agree.
+	dead := 0
+	for _, s := range cl.Servers {
+		if s.Dead() {
+			dead++
+		}
+	}
+	if int64(dead) != fp {
+		t.Fatalf("dead servers = %d, false positives = %d — declared-dead servers must be enforced dead", dead, fp)
+	}
+	// Bounded detection latency: the first declaration happened within a
+	// few ping windows of the start, not at the end of the run.
+	recs := cl.Coord.Records()
+	if len(recs) == 0 {
+		t.Fatal("no recovery records despite declared deaths")
+	}
+	if recs[0].DetectedAt > sim.Time(10*sim.Second) {
+		t.Fatalf("first detection at %v, want within 10s", recs[0].DetectedAt)
+	}
+}
+
+// TestRestartRejoinsAndRebalances kills a loaded server, waits for
+// recovery, restarts it and verifies the full rejoin path: the process
+// re-enlists, receives tablets by migration, and the data stays readable
+// and writable afterwards.
+func TestRestartRejoinsAndRebalances(t *testing.T) {
+	eng := sim.New(13)
+	cl := NewCluster(eng, smallProfile(), 4, 2)
+	cl.Start()
+	table := cl.CreateTable("t")
+	cl.BulkLoad(table, 800, 512)
+	c := cl.NewClient()
+	eng.Go("app", func(p *sim.Proc) {
+		cl.KillServer(1)
+		for len(cl.Coord.Records()) < 1 {
+			p.Sleep(250 * sim.Millisecond)
+			if p.Now() > sim.Time(3*sim.Minute) {
+				t.Error("recovery stalled")
+				break
+			}
+		}
+		if !cl.RestartServer(1) {
+			t.Error("RestartServer returned false for a dead server")
+		}
+		for cl.Coord.RespreadsPending() > 0 {
+			p.Sleep(250 * sim.Millisecond)
+			if p.Now() > sim.Time(5*sim.Minute) {
+				t.Error("tablet re-spread stalled")
+				break
+			}
+		}
+		for i := 0; i < 800; i++ {
+			if n, _, err := c.Read(p, table, ycsb.Key(i)); err != nil || n != 512 {
+				t.Errorf("record %d unreadable after rejoin: n=%d err=%v", i, n, err)
+				break
+			}
+		}
+		// Writes must land too — including on migrated tablets.
+		for i := 0; i < 100; i++ {
+			if err := c.Write(p, table, ycsb.Key(i), 256, nil); err != nil {
+				t.Errorf("write %d after rejoin: %v", i, err)
+				break
+			}
+		}
+		cl.StopMetering()
+		eng.Stop()
+	})
+	eng.Run()
+	eng.Shutdown()
+
+	if cl.Servers[1].Dead() {
+		t.Fatal("restarted server is dead")
+	}
+	if cl.Coord.TabletsMigrated() == 0 {
+		t.Fatal("no tablets migrated to the restarted server")
+	}
+	owned := 0
+	for _, tb := range cl.Coord.TabletMapDirect() {
+		if tb.Master == 2 { // server index 1 = id 2
+			owned++
+		}
+	}
+	if owned == 0 {
+		t.Fatal("restarted server owns no tablets after rebalance")
+	}
+	if n := len(cl.Coord.AliveServers()); n != 4 {
+		t.Fatalf("alive = %d, want 4", n)
+	}
+}
+
+// TestRestartLiveServerRefuses: restarting a server that never died is a
+// no-op returning false.
+func TestRestartLiveServerRefuses(t *testing.T) {
+	eng := sim.New(14)
+	cl := NewCluster(eng, smallProfile(), 2, 0)
+	cl.Start()
+	restarted := true
+	eng.Go("app", func(p *sim.Proc) {
+		p.Sleep(sim.Second)
+		restarted = cl.RestartServer(0)
+		cl.StopMetering()
+		eng.Stop()
+	})
+	eng.Run()
+	eng.Shutdown()
+	if restarted {
+		t.Fatal("RestartServer(live) returned true")
+	}
+}
+
+// TestScenarioFaultScheduleKillRestart drives the whole FaultEvent path
+// through Run: a scenario-level kill at 2s and restart at 5s must produce
+// a detected death, a completed recovery, a successful rejoin with
+// migrated tablets, and no controller timeout.
+func TestScenarioFaultScheduleKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an 8s fault scenario")
+	}
+	res := Run(Scenario{
+		Name:    "faults-kill-restart",
+		Profile: smallProfile(),
+		Servers: 3,
+		RF:      2,
+		Seed:    5,
+		Groups: []ClientGroup{{
+			Name: "load", Clients: 4,
+			Workload: ycsb.WorkloadB(5_000, 512),
+			Stop:     8 * sim.Second,
+		}},
+		Faults: []FaultEvent{
+			{At: 2 * sim.Second, Kind: FaultKill, Target: 1},
+			{At: 5 * sim.Second, Kind: FaultRestart, Target: 1},
+		},
+	})
+	if res.KilledAt != sim.Time(2*sim.Second) {
+		t.Fatalf("KilledAt = %v, want 2s", res.KilledAt)
+	}
+	if !res.Recovered || res.RecoveryTimedOut {
+		t.Fatalf("recovered=%v timedOut=%v", res.Recovered, res.RecoveryTimedOut)
+	}
+	if res.DetectTime <= 0 || res.DetectTime > 2*sim.Second {
+		t.Fatalf("DetectTime = %v, want (0, 2s]", res.DetectTime)
+	}
+	if !res.Rejoined || res.RejoinedAt < sim.Time(5*sim.Second) {
+		t.Fatalf("rejoined=%v at %v", res.Rejoined, res.RejoinedAt)
+	}
+	if res.TabletsMigrated == 0 {
+		t.Fatal("no tablets migrated after rejoin")
+	}
+	if res.TotalOps == 0 {
+		t.Fatal("no operations completed")
+	}
+}
+
+// TestScenarioKillAfterLowersOntoFaults: the legacy pair and the explicit
+// one-event schedule must run the exact same simulation.
+func TestScenarioKillAfterLowersOntoFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two kill scenarios")
+	}
+	base := Scenario{
+		Name:              "lowered-kill",
+		Profile:           smallProfile(),
+		Servers:           3,
+		RF:                2,
+		Clients:           4,
+		Workload:          ycsb.WorkloadB(5_000, 512),
+		RequestsPerClient: 2_000,
+		Seed:              6,
+	}
+	legacy := base
+	legacy.KillAfter, legacy.KillTarget = 2*sim.Second, 1
+	explicit := base
+	explicit.Faults = []FaultEvent{{At: 2 * sim.Second, Kind: FaultKill, Target: 1}}
+
+	a, b := Run(legacy), Run(explicit)
+	if a.TotalOps != b.TotalOps || a.KilledAt != b.KilledAt ||
+		a.RecoveryTime != b.RecoveryTime || a.DetectTime != b.DetectTime {
+		t.Fatalf("legacy and explicit kill diverge:\nlegacy:   ops=%d killed=%v rec=%v det=%v\nexplicit: ops=%d killed=%v rec=%v det=%v",
+			a.TotalOps, a.KilledAt, a.RecoveryTime, a.DetectTime,
+			b.TotalOps, b.KilledAt, b.RecoveryTime, b.DetectTime)
+	}
+}

@@ -80,6 +80,20 @@ func (e *keyEnc) group(g ClientGroup) {
 	e.boolean(g.Warmup)
 }
 
+func (e *keyEnc) fault(f FaultEvent) {
+	e.dur(f.At)
+	e.i64(int64(f.Kind))
+	e.i(f.Target)
+	e.i(len(f.Peers))
+	for _, p := range f.Peers {
+		e.i(p)
+	}
+	e.f64(f.Loss)
+	e.f64(f.Dup)
+	e.dur(f.Jitter)
+	e.dur(f.Until)
+}
+
 func (e *keyEnc) phase(ph LoadPhase) {
 	e.str(ph.Name)
 	e.dur(ph.Duration)
@@ -140,10 +154,15 @@ func (e *keyEnc) profile(p Profile) {
 	e.dur(p.Client.ReadOverhead)
 	e.dur(p.Client.UpdateOverhead)
 	e.dur(p.Client.BatchItemOverhead)
+	e.dur(p.Client.Backoff.Base)
+	e.dur(p.Client.Backoff.Cap)
+	e.f64(p.Client.Backoff.Multiplier)
+	e.f64(p.Client.Backoff.JitterFrac)
 
 	e.dur(p.Coordinator.PingInterval)
 	e.dur(p.Coordinator.PingTimeout)
 	e.i(p.Coordinator.MissThreshold)
+	e.boolean(p.Coordinator.EnforceDeath)
 }
 
 // memoKey renders the fully-specified scenario — every field, including
@@ -172,6 +191,10 @@ func memoKey(s Scenario) string {
 	e.i64(s.Seed)
 	e.dur(s.KillAfter)
 	e.i(s.KillTarget)
+	e.i(len(s.Faults))
+	for _, f := range s.Faults {
+		e.fault(f)
+	}
 	e.i(s.IdleSeconds)
 	e.dur(s.Deadline)
 	return string(e.b)

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"ramcloud/internal/client"
 	"ramcloud/internal/sim"
 	"ramcloud/internal/ycsb"
 )
@@ -14,9 +15,14 @@ import (
 // non-zero and pairwise distinct where cheap, so a perturbation cannot
 // collide with a neighbouring field's encoding by accident.
 func memoKeyBase() Scenario {
+	prof := DefaultProfile()
+	prof.Client.Backoff = client.BackoffConfig{
+		Base: sim.Millisecond, Cap: 40 * sim.Millisecond,
+		Multiplier: 2, JitterFrac: 0.25,
+	}
 	return Scenario{
 		Name:              "memokey",
-		Profile:           DefaultProfile(),
+		Profile:           prof,
 		Servers:           3,
 		Clients:           2,
 		RF:                1,
@@ -41,9 +47,14 @@ func memoKeyBase() Scenario {
 			Name: "p1", Duration: sim.Second, Shape: ShapeSine,
 			From: 0.5, To: 1.5, Period: 3 * sim.Second, Steps: 2,
 		}},
-		Seed:        7,
-		KillAfter:   4 * sim.Second,
-		KillTarget:  1,
+		Seed:       7,
+		KillAfter:  4 * sim.Second,
+		KillTarget: 1,
+		Faults: []FaultEvent{{
+			At: 5 * sim.Second, Kind: FaultLoss, Target: 2,
+			Peers: []int{1, 2}, Loss: 0.01, Dup: 0.002,
+			Jitter: 100 * sim.Microsecond, Until: 6 * sim.Second,
+		}},
 		IdleSeconds: 3,
 		Deadline:    sim.Minute,
 	}

@@ -46,8 +46,15 @@ type Scenario struct {
 	Seed int64
 
 	// KillAfter, when > 0, crashes one server at that simulated time.
+	// It is the legacy single-kill form: when Faults is empty it lowers
+	// onto a one-event schedule ([{At: KillAfter, Kind: FaultKill,
+	// Target: KillTarget}]) with identical behaviour.
 	KillAfter  sim.Duration
 	KillTarget int // server index to kill; -1 picks one deterministically
+
+	// Faults, when non-empty, is the full fault schedule (kills, restarts,
+	// partitions, loss windows, slow nodes) and overrides KillAfter.
+	Faults []FaultEvent
 
 	// IdleSeconds runs the cluster without client load for this long
 	// (after the kill, recovery is awaited) — the Fig. 9 setup.
@@ -90,11 +97,25 @@ type Result struct {
 
 	Timeouts int64
 	Failures int64
+	Retries  int64
 
 	// Recovery, when a kill was injected.
-	KilledAt     sim.Time
-	RecoveryTime sim.Duration // kill -> last partition flipped
-	Recovered    bool
+	KilledAt         sim.Time
+	RecoveryTime     sim.Duration // kill -> last partition flipped
+	Recovered        bool
+	RecoveryTimedOut bool         // controller gave up waiting (10 min)
+	DetectTime       sim.Duration // kill -> detector declared death
+
+	// Rejoin, when a restart was injected.
+	Rejoined        bool
+	RejoinedAt      sim.Time
+	TabletsMigrated int64 // tablets re-spread onto restarted servers
+
+	// Fault-injection and detector accounting.
+	NetDroppedFault     int64 // messages lost to injected faults
+	NetDuplicated       int64 // extra copies delivered by dup models
+	Suspicions          int64 // detector ping misses
+	FalsePositiveDeaths int64 // live servers declared dead
 
 	// Cleaner activity across all servers.
 	CleanerPasses int64
@@ -165,19 +186,12 @@ func Run(s Scenario) *Result {
 		}
 	}
 
-	// Fault injection.
-	if s.KillAfter > 0 {
-		target := s.KillTarget
-		if target < 0 {
-			target = int(s.Seed) % s.Servers
-			if target < 0 {
-				target += s.Servers
-			}
-		}
-		eng.Schedule(s.KillAfter, func() {
-			res.KilledAt = eng.Now()
-			cl.KillServer(target)
-		})
+	// Fault injection: the explicit schedule, or KillAfter lowered onto a
+	// single kill event.
+	faults := s.faultSchedule()
+	nKills, nRestarts, lastRestart := faultCounts(faults)
+	if len(faults) > 0 {
+		armFaults(eng, cl, &s, faults, res)
 	}
 
 	// Controller: decide when the run is over.
@@ -205,12 +219,26 @@ func Run(s Scenario) *Result {
 		workStart = p.Now()
 		wg.Wait(p)
 		workEnd = p.Now()
-		if s.KillAfter > 0 {
+		if nKills > 0 {
 			// Await recovery completion (poll the coordinator's records).
-			for len(cl.Coord.Records()) == 0 {
+			for len(cl.Coord.Records()) < nKills {
 				p.Sleep(100 * sim.Millisecond)
 				if p.Now() > sim.Time(10*sim.Minute) {
+					res.RecoveryTimedOut = true
 					break // recovery never finished; report as-is
+				}
+			}
+		}
+		if nRestarts > 0 {
+			// Await the last restart and the drain of its tablet re-spread.
+			// <= keeps polling until we are strictly past the restart event,
+			// so a poll landing exactly on it cannot observe pending == 0
+			// before Readmit has run.
+			for p.Now() <= sim.Time(lastRestart) || cl.Coord.RespreadsPending() > 0 {
+				p.Sleep(100 * sim.Millisecond)
+				if p.Now() > sim.Time(10*sim.Minute) {
+					res.RecoveryTimedOut = true
+					break
 				}
 			}
 		}
@@ -256,6 +284,7 @@ func Run(s Scenario) *Result {
 		res.TotalOps += st.Ops.Value()
 		res.Timeouts += st.Timeouts.Value()
 		res.Failures += st.Failures.Value()
+		res.Retries += st.Retries.Value()
 		res.ReadLatency.Merge(st.ReadLatency)
 		res.WriteLatency.Merge(st.WriteLatency)
 		var lat metrics.Series
@@ -312,7 +341,15 @@ func Run(s Scenario) *Result {
 	if recs := cl.Coord.Records(); len(recs) > 0 && res.KilledAt > 0 {
 		res.Recovered = true
 		res.RecoveryTime = recs[0].DoneAt.Sub(res.KilledAt)
+		res.DetectTime = recs[0].DetectedAt.Sub(res.KilledAt)
 	}
+
+	// Fault-injection and detector accounting.
+	res.NetDroppedFault = cl.Net.DroppedByFault()
+	res.NetDuplicated = cl.Net.Duplicated()
+	res.Suspicions = cl.Coord.Suspicions()
+	res.FalsePositiveDeaths = cl.Coord.FalsePositives()
+	res.TabletsMigrated = cl.Coord.TabletsMigrated()
 
 	// Composable-scenario breakdowns: per-group and per-phase slices.
 	res.Groups = buildGroupResults(cl, groups, groupOf, seriesEnd)

@@ -75,6 +75,18 @@ func (n *Node) Kill() {
 	n.alive = false
 }
 
+// Revive powers a killed node back on (process restart on the same
+// hardware). Accounting resumes from now with no pinned cores; the restarted
+// process pins its own.
+func (n *Node) Revive() {
+	if n.alive {
+		return
+	}
+	n.alive = true
+	n.pinned = 0
+	n.pinnedSince = n.eng.Now()
+}
+
 // String identifies the node in logs.
 func (n *Node) String() string { return fmt.Sprintf("node-%d", n.ID) }
 

@@ -168,6 +168,9 @@ type Stats struct {
 	ObjectsReplay  metrics.Counter
 	BackupFailures metrics.Counter
 
+	TabletsMigratedOut metrics.Counter // migrations completed as source
+	ObjectsMigrated    metrics.Counter // objects taken in as destination
+
 	CleanerPasses    metrics.Counter
 	CleanerFreed     metrics.Counter // segments reclaimed
 	CleanerRelocated metrics.Counter // entries moved

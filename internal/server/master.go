@@ -67,6 +67,10 @@ func (s *Server) serveRead(p *sim.Proc, req rpc.Request, m *wire.ReadReq) {
 		s.ep.Reply(req, &wire.ReadResp{Status: wire.StatusWrongServer})
 		return
 	}
+	if s.frozenKey(m.Table, keyHash) {
+		s.ep.Reply(req, &wire.ReadResp{Status: wire.StatusRetry})
+		return
+	}
 	s.busy(p, sim.Scale(s.cfg.Costs.Read, s.interference()))
 	packed, ok := s.ht.Lookup(keyHash, s.keyEq(m.Table, m.Key))
 	if !ok {
@@ -92,6 +96,10 @@ func (s *Server) serveWrite(p *sim.Proc, req rpc.Request, m *wire.WriteReq) {
 	if !s.ownsKey(m.Table, keyHash) {
 		s.stats.WrongServer.Inc()
 		s.ep.Reply(req, &wire.WriteResp{Status: wire.StatusWrongServer})
+		return
+	}
+	if s.frozenKey(m.Table, keyHash) {
+		s.ep.Reply(req, &wire.WriteResp{Status: wire.StatusRetry})
 		return
 	}
 	entry := logstore.Entry{
@@ -123,6 +131,10 @@ func (s *Server) serveDelete(p *sim.Proc, req rpc.Request, m *wire.DeleteReq) {
 	if !s.ownsKey(m.Table, keyHash) {
 		s.stats.WrongServer.Inc()
 		s.ep.Reply(req, &wire.DeleteResp{Status: wire.StatusWrongServer})
+		return
+	}
+	if s.frozenKey(m.Table, keyHash) {
+		s.ep.Reply(req, &wire.DeleteResp{Status: wire.StatusRetry})
 		return
 	}
 	version, seg, status := s.deleteLocked(p, m.Table, keyHash, m.Key)
@@ -158,11 +170,15 @@ func (s *Server) serveMultiRead(p *sim.Proc, req rpc.Request, m *wire.MultiReadR
 			items[i].Status = wire.StatusWrongServer
 			continue
 		}
+		if s.frozenKey(it.Table, hashes[i]) {
+			items[i].Status = wire.StatusRetry
+			continue
+		}
 		cost += s.cfg.Costs.Read
 	}
 	s.busy(p, sim.Scale(cost, s.interference()))
 	for i := range m.Items {
-		if items[i].Status == wire.StatusWrongServer {
+		if items[i].Status != 0 {
 			continue
 		}
 		it := &m.Items[i]
@@ -205,6 +221,10 @@ func (s *Server) serveMultiWrite(p *sim.Proc, req rpc.Request, m *wire.MultiWrit
 			items[i].Status = wire.StatusWrongServer
 			continue
 		}
+		if s.frozenKey(it.Table, hashes[i]) {
+			items[i].Status = wire.StatusRetry
+			continue
+		}
 		owned++
 		cost += s.cfg.Costs.WriteBase + sim.Scale(s.cfg.Costs.PerKByte, float64(it.ValueLen)/1024)
 	}
@@ -234,7 +254,7 @@ func (s *Server) serveMultiWrite(p *sim.Proc, req rpc.Request, m *wire.MultiWrit
 	var segOrder []uint64
 	segObjs := make(map[uint64][]wire.Object)
 	for i := range m.Items {
-		if items[i].Status == wire.StatusWrongServer {
+		if items[i].Status != 0 {
 			continue
 		}
 		it := &m.Items[i]

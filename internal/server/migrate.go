@@ -1,0 +1,217 @@
+package server
+
+import (
+	"fmt"
+
+	"ramcloud/internal/logstore"
+	"ramcloud/internal/rpc"
+	"ramcloud/internal/sim"
+	"ramcloud/internal/simnet"
+	"ramcloud/internal/wire"
+)
+
+// This file implements tablet migration, the mechanism behind re-spreading
+// load onto a restarted server: the coordinator asks the current owner to
+// MigrateTablet a hash range to a destination master. The source freezes the
+// range (clients get StatusRetry), walks its log for the range's live
+// objects, ships them in batches (TakeTabletReq) and finally drops ownership
+// so subsequent client ops re-route via the coordinator.
+
+const migrateBatchTimeout = 5 * sim.Second
+
+// migrateBatch is the number of objects shipped per TakeTabletReq. Larger
+// than ReplayBatch (often 1) because migration is a bulk transfer, not a
+// latency-sensitive replay.
+const migrateBatch = 64
+
+// PeerRejoined clears the permanent dead mark for a restarted peer so it
+// becomes a backup candidate again.
+func (s *Server) PeerRejoined(addr simnet.NodeID) {
+	delete(s.deadPeers, addr)
+}
+
+// frozenKey reports whether (table, keyHash) is inside a range currently
+// being migrated away. Frozen keys answer StatusRetry: the client backs off
+// and retries, and after the migration lands it is re-routed by the
+// WrongServer path.
+func (s *Server) frozenKey(table, keyHash uint64) bool {
+	for _, t := range s.frozen {
+		if t.Table == table && keyHash >= t.StartHash && keyHash <= t.EndHash {
+			return true
+		}
+	}
+	return false
+}
+
+// serveMigrateTablet hands the transfer to a dedicated proc so the backup
+// service thread is not captive for the whole migration (replication
+// requests from other masters keep flowing). The reply is sent when the
+// migration completes.
+func (s *Server) serveMigrateTablet(req rpc.Request, m *wire.MigrateTabletReq) {
+	s.eng.Go(fmt.Sprintf("srv%d-migrate-%x", s.id, m.FirstHash), func(p *sim.Proc) {
+		s.migrateTablet(p, req, m)
+	})
+}
+
+func (s *Server) migrateTablet(p *sim.Proc, req rpc.Request, m *wire.MigrateTabletReq) {
+	if s.dead {
+		return
+	}
+	if !s.ownsKey(m.Table, m.FirstHash) || !s.ownsKey(m.Table, m.LastHash) {
+		s.ep.Reply(req, &wire.MigrateTabletResp{Status: wire.StatusWrongServer})
+		return
+	}
+	rng := wire.Tablet{Table: m.Table, StartHash: m.FirstHash, EndHash: m.LastHash, Master: s.id}
+	s.frozen = append(s.frozen, rng)
+	defer s.unfreeze(rng)
+
+	objs, _ := s.collectRange(p, m.Table, m.FirstHash, m.LastHash)
+	for off := 0; off < len(objs); off += migrateBatch {
+		end := off + migrateBatch
+		if end > len(objs) {
+			end = len(objs)
+		}
+		s.busy(p, s.cfg.Costs.SendOverhead)
+		resp, ok := s.ep.CallTimeout(p, simnet.NodeID(m.Dst), &wire.TakeTabletReq{
+			Table:     m.Table,
+			FirstHash: m.FirstHash,
+			LastHash:  m.LastHash,
+			Objects:   objs[off:end],
+		}, migrateBatchTimeout)
+		if s.dead {
+			return
+		}
+		if !ok {
+			s.ep.Reply(req, &wire.MigrateTabletResp{Status: wire.StatusError})
+			return
+		}
+		if tr, good := resp.(*wire.TakeTabletResp); !good || tr.Status != wire.StatusOK {
+			s.ep.Reply(req, &wire.MigrateTabletResp{Status: wire.StatusError})
+			return
+		}
+	}
+	s.dropRange(p, m.Table, m.FirstHash, m.LastHash, objs)
+	s.stats.TabletsMigratedOut.Inc()
+	s.ep.Reply(req, &wire.MigrateTabletResp{Status: wire.StatusOK, Moved: uint32(len(objs))})
+}
+
+// collectRange snapshots the live objects of [first, last] under the log
+// lock, using the cleaner's liveness test (hash-table entry still points at
+// this exact log position). The scan CPU is charged after the lock drops so
+// writers outside the frozen range are not stalled for the whole walk.
+func (s *Server) collectRange(p *sim.Proc, table, first, last uint64) ([]wire.Object, []logstore.Ref) {
+	s.lockWithSpin(p, s.logMu)
+	var objs []wire.Object
+	var refs []logstore.Ref
+	head := s.log.Head()
+	if head == nil {
+		s.logMu.Unlock()
+		return nil, nil
+	}
+	for id := uint64(0); id <= head.ID(); id++ {
+		seg, ok := s.log.Segment(id)
+		if !ok {
+			continue
+		}
+		for i := 0; i < seg.Entries(); i++ {
+			e, err := seg.EntryAt(i)
+			if err != nil || e.Type != logstore.EntryObject {
+				continue
+			}
+			if e.Table != table || e.KeyHash < first || e.KeyHash > last {
+				continue
+			}
+			ref := logstore.Ref{Segment: id, Index: i}
+			cur, found := s.ht.Lookup(e.KeyHash, s.keyEq(e.Table, e.Key))
+			if !found || logstore.UnpackRef(cur) != ref {
+				continue
+			}
+			objs = append(objs, entryToObject(e))
+			refs = append(refs, ref)
+		}
+	}
+	s.logMu.Unlock()
+	s.busy(p, sim.Scale(s.cfg.Costs.Read, float64(len(objs))))
+	return objs, refs
+}
+
+// dropRange removes ownership of [first, last] (splitting any tablet the
+// range cuts through) and unindexes the moved objects so their log space is
+// reclaimable. The range is frozen, so no writer raced the collect.
+func (s *Server) dropRange(p *sim.Proc, table, first, last uint64, moved []wire.Object) {
+	s.lockWithSpin(p, s.logMu)
+	var out []wire.Tablet
+	for _, t := range s.tablets {
+		if t.Table != table || t.EndHash < first || t.StartHash > last {
+			out = append(out, t)
+			continue
+		}
+		if t.StartHash < first {
+			out = append(out, wire.Tablet{Table: table, StartHash: t.StartHash, EndHash: first - 1, Master: s.id})
+		}
+		if t.EndHash > last {
+			out = append(out, wire.Tablet{Table: table, StartHash: last + 1, EndHash: t.EndHash, Master: s.id})
+		}
+	}
+	s.tablets = out
+	for i := range moved {
+		o := &moved[i]
+		if old, ok := s.ht.Delete(o.KeyHash, s.keyEq(o.Table, o.Key)); ok {
+			_ = s.log.MarkDead(logstore.UnpackRef(old))
+		}
+	}
+	s.logMu.Unlock()
+}
+
+func (s *Server) unfreeze(rng wire.Tablet) {
+	out := s.frozen[:0]
+	for _, t := range s.frozen {
+		if t != rng {
+			out = append(out, t)
+		}
+	}
+	s.frozen = out
+}
+
+// serveTakeTablet receives one batch of a migrating tablet. Objects are
+// re-inserted through the replay path (versions preserved, staleness
+// checked) and re-replicated to this master's own backups; the version
+// counter is pulled forward so post-migration writes never regress below a
+// migrated version.
+func (s *Server) serveTakeTablet(p *sim.Proc, req rpc.Request, m *wire.TakeTabletReq) {
+	if s.dead {
+		return
+	}
+	var batch []wire.Object
+	var batchSeg uint64
+	flush := func() {
+		if len(batch) > 0 {
+			s.replicateReplaySerial(p, batchSeg, batch)
+			batch = nil
+		}
+	}
+	for i := range m.Objects {
+		obj := &m.Objects[i]
+		if obj.Version > s.nextVersion {
+			s.nextVersion = obj.Version
+		}
+		seg, replayed := s.replayObject(p, obj)
+		if !replayed {
+			continue
+		}
+		s.stats.ObjectsMigrated.Inc()
+		if seg != batchSeg {
+			flush()
+			batchSeg = seg
+		}
+		batch = append(batch, *obj)
+		if len(batch) >= migrateBatch {
+			flush()
+		}
+		if s.dead {
+			return
+		}
+	}
+	flush()
+	s.ep.Reply(req, &wire.TakeTabletResp{Status: wire.StatusOK})
+}

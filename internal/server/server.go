@@ -54,6 +54,7 @@ type Server struct {
 	ht          *hashtable.Table
 	logMu       *sim.Mutex
 	tablets     []wire.Tablet
+	frozen      []wire.Tablet // ranges mid-migration; ops answer StatusRetry
 	nextVersion uint64
 	replicas    map[uint64][]simnet.NodeID // segment id -> backup set
 
@@ -325,6 +326,10 @@ func (s *Server) serve(p *sim.Proc, req rpc.Request) {
 		s.serveGetRecoveryData(p, req, m)
 	case *wire.RecoverReq:
 		s.serveRecover(p, req, m)
+	case *wire.MigrateTabletReq:
+		s.serveMigrateTablet(req, m)
+	case *wire.TakeTabletReq:
+		s.serveTakeTablet(p, req, m)
 	case *wire.PingReq:
 		s.ep.Reply(req, &wire.PingResp{Seq: m.Seq})
 	case nil:

@@ -1,0 +1,199 @@
+package simnet
+
+import (
+	"testing"
+
+	"ramcloud/internal/sim"
+)
+
+// send schedules count messages 1 -> 2 at t=0 and runs the engine.
+func sendMany(e *sim.Engine, n *Network, count int) (delivered int) {
+	n.Attach(1, func(m Message) {})
+	n.Attach(2, func(m Message) { delivered++ })
+	e.Schedule(0, func() {
+		for i := 0; i < count; i++ {
+			n.Send(Message{From: 1, To: 2, Size: 100})
+		}
+	})
+	e.Run()
+	return delivered
+}
+
+func TestFaultLossDropsAndCounts(t *testing.T) {
+	e := sim.New(1)
+	n := New(e, netCfg())
+	n.SeedFaults(7)
+	n.SetLinkFaults(1, 2, FaultModel{Loss: 0.5})
+	got := sendMany(e, n, 1000)
+	if got == 0 || got == 1000 {
+		t.Fatalf("delivered = %d, want a lossy fraction", got)
+	}
+	if n.DroppedByFault() != int64(1000-got) {
+		t.Fatalf("dropped = %d, delivered = %d", n.DroppedByFault(), got)
+	}
+}
+
+func TestFaultLossDeterministic(t *testing.T) {
+	run := func() (int, int64) {
+		e := sim.New(1)
+		n := New(e, netCfg())
+		n.SeedFaults(42)
+		n.SetDefaultFaults(FaultModel{Loss: 0.3})
+		got := sendMany(e, n, 500)
+		return got, n.DroppedByFault()
+	}
+	g1, d1 := run()
+	g2, d2 := run()
+	if g1 != g2 || d1 != d2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", g1, d1, g2, d2)
+	}
+}
+
+func TestFaultDupDeliversTwice(t *testing.T) {
+	e := sim.New(1)
+	n := New(e, netCfg())
+	n.SeedFaults(1)
+	n.SetNodeFaults(2, FaultModel{Dup: 1.0})
+	got := sendMany(e, n, 10)
+	if got != 20 {
+		t.Fatalf("delivered = %d, want 20 (every message duplicated)", got)
+	}
+	if n.Duplicated() != 10 {
+		t.Fatalf("duplicated = %d", n.Duplicated())
+	}
+}
+
+func TestFaultJitterDelaysWithinBound(t *testing.T) {
+	e := sim.New(1)
+	n := New(e, netCfg())
+	n.SeedFaults(3)
+	jitter := 50 * sim.Microsecond
+	n.SetLinkFaults(1, 2, FaultModel{Jitter: jitter})
+	var times []sim.Time
+	n.Attach(1, func(m Message) {})
+	n.Attach(2, func(m Message) { times = append(times, e.Now()) })
+	e.Schedule(0, func() {
+		for i := 0; i < 100; i++ {
+			n.Send(Message{From: 1, To: 2, Size: 100})
+		}
+	})
+	e.Run()
+	if len(times) != 100 {
+		t.Fatalf("delivered = %d", len(times))
+	}
+	// Base arrival for message i: (i+1)*0.1us tx serialization + 5us prop.
+	jittered := 0
+	for i, at := range times {
+		base := sim.Time(sim.Duration(i+1)*100*sim.Nanosecond + 5*sim.Microsecond)
+		d := at.Sub(base)
+		if d < 0 || d >= jitter {
+			t.Fatalf("message %d: delay %v outside [0, %v)", i, d, jitter)
+		}
+		if d > 0 {
+			jittered++
+		}
+	}
+	if jittered == 0 {
+		t.Fatal("no message was jittered")
+	}
+}
+
+func TestPartitionDropsCrossTrafficBothWays(t *testing.T) {
+	e := sim.New(1)
+	n := New(e, netCfg())
+	var got12, got21, got13 int
+	n.Attach(1, func(m Message) { got21++ })
+	n.Attach(2, func(m Message) {
+		if m.From == 1 {
+			got12++
+		} else {
+			got13++
+		}
+	})
+	n.Attach(3, func(m Message) {})
+	n.Partition([]NodeID{1})
+	e.Schedule(0, func() {
+		n.Send(Message{From: 1, To: 2, Size: 10}) // cross: dropped
+		n.Send(Message{From: 2, To: 1, Size: 10}) // cross: dropped
+		n.Send(Message{From: 3, To: 2, Size: 10}) // same side: delivered
+	})
+	e.Run()
+	if got12 != 0 || got21 != 0 {
+		t.Fatalf("cross-partition traffic delivered: 1->2 %d, 2->1 %d", got12, got21)
+	}
+	if got13 != 1 {
+		t.Fatalf("same-side traffic dropped: 3->2 delivered %d", got13)
+	}
+	if n.DroppedByFault() != 2 {
+		t.Fatalf("dropped = %d, want 2", n.DroppedByFault())
+	}
+}
+
+func TestHealRestoresDelivery(t *testing.T) {
+	e := sim.New(1)
+	n := New(e, netCfg())
+	delivered := 0
+	n.Attach(1, func(m Message) {})
+	n.Attach(2, func(m Message) { delivered++ })
+	n.Partition([]NodeID{1})
+	e.Schedule(0, func() { n.Send(Message{From: 1, To: 2, Size: 10}) })
+	e.Schedule(sim.Millisecond, func() {
+		n.Heal()
+		n.Send(Message{From: 1, To: 2, Size: 10})
+	})
+	e.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1 (only the post-heal send)", delivered)
+	}
+}
+
+func TestFaultModelPrecedenceLinkOverNode(t *testing.T) {
+	e := sim.New(1)
+	n := New(e, netCfg())
+	n.SeedFaults(5)
+	// Node 2 drops everything, but the specific 1->2 link only duplicates:
+	// the link rule must win, so every message arrives (twice).
+	n.SetNodeFaults(2, FaultModel{Loss: 1.0})
+	n.SetLinkFaults(1, 2, FaultModel{Dup: 1.0})
+	got := sendMany(e, n, 10)
+	if got != 20 {
+		t.Fatalf("delivered = %d, want 20 (link rule overrides node rule)", got)
+	}
+}
+
+func TestClearNodeFaults(t *testing.T) {
+	e := sim.New(1)
+	n := New(e, netCfg())
+	n.SeedFaults(5)
+	delivered := 0
+	n.Attach(1, func(m Message) {})
+	n.Attach(2, func(m Message) { delivered++ })
+	n.SetNodeFaults(2, FaultModel{Loss: 1.0})
+	e.Schedule(0, func() { n.Send(Message{From: 1, To: 2, Size: 10}) })
+	e.Schedule(sim.Millisecond, func() {
+		n.SetNodeFaults(2, FaultModel{}) // zero model clears the rule
+		n.Send(Message{From: 1, To: 2, Size: 10})
+	})
+	e.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1 (only after the window closed)", delivered)
+	}
+	if n.DroppedByFault() != 1 {
+		t.Fatalf("dropped = %d, want 1", n.DroppedByFault())
+	}
+}
+
+func TestDetachAllowsReattach(t *testing.T) {
+	e := sim.New(1)
+	n := New(e, netCfg())
+	delivered := 0
+	n.Attach(1, func(m Message) {})
+	n.Attach(2, func(m Message) { t.Error("old handler invoked") })
+	n.Detach(2)
+	n.Attach(2, func(m Message) { delivered++ }) // must not panic
+	e.Schedule(0, func() { n.Send(Message{From: 1, To: 2, Size: 10}) })
+	e.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d", delivered)
+	}
+}

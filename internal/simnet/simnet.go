@@ -71,6 +71,10 @@ type Network struct {
 	// allocates nothing.
 	free *delivery
 
+	// fault holds injected fault rules (faults.go); nil until the first
+	// rule is installed, so the healthy fast path pays one nil check.
+	fault *faultState
+
 	delivered metrics.Counter
 	dropped   metrics.Counter
 }
@@ -130,12 +134,16 @@ func New(e *sim.Engine, cfg Config) *Network {
 }
 
 // Attach registers a node and its message handler. Attaching the same node
-// twice panics: handlers must not be silently replaced.
+// twice panics: handlers must not be silently replaced — a restarted
+// process must Detach first. The NIC record is reused across restarts so
+// the node's transmit accounting stays continuous.
 func (n *Network) Attach(id NodeID, h Handler) {
 	if _, ok := n.handlers[id]; ok {
 		panic(fmt.Sprintf("simnet: node %d attached twice", id))
 	}
-	n.nics[id] = &nic{}
+	if n.nics[id] == nil {
+		n.nics[id] = &nic{}
+	}
 	n.handlers[id] = h
 }
 
@@ -172,6 +180,19 @@ func (n *Network) Send(msg Message) {
 	spreadBytes(&src.txBytes, start, end, float64(msg.Size))
 
 	deliverAt := end.Add(n.cfg.PropagationDelay)
+	if n.fault != nil {
+		at, dup, ok := n.fault.apply(msg.From, msg.To, deliverAt)
+		if !ok {
+			return // lost in the fabric; the sender still paid tx time
+		}
+		deliverAt = at
+		if dup {
+			d2 := n.newDelivery()
+			d2.msg = msg
+			d2.at = deliverAt
+			n.eng.ScheduleAt(deliverAt, d2.fn)
+		}
+	}
 	d := n.newDelivery()
 	d.msg = msg
 	d.at = deliverAt

@@ -250,6 +250,19 @@ func Unmarshal(b []byte) (Envelope, error) {
 			m.Items = append(m.Items, MultiWriteResult{Status: Status(d.u8()), Version: d.u64()})
 		}
 		msg = m
+	case OpMigrateTabletReq:
+		msg = &MigrateTabletReq{Table: d.u64(), FirstHash: d.u64(), LastHash: d.u64(), Dst: d.i32()}
+	case OpMigrateTabletResp:
+		msg = &MigrateTabletResp{Status: Status(d.u8()), Moved: d.u32()}
+	case OpTakeTabletReq:
+		m := &TakeTabletReq{Table: d.u64(), FirstHash: d.u64(), LastHash: d.u64()}
+		n := d.u32()
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			m.Objects = append(m.Objects, decodeObject(d))
+		}
+		msg = m
+	case OpTakeTabletResp:
+		msg = &TakeTabletResp{Status: Status(d.u8())}
 	default:
 		return Envelope{}, fmt.Errorf("%w: %d", ErrUnknownOp, op)
 	}

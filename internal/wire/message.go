@@ -468,3 +468,53 @@ func (m *RecoveryDoneResp) encodeBody(e *encoder) error {
 	e.u8(uint8(m.Status))
 	return nil
 }
+
+// Migration plane ------------------------------------------------------------
+
+func (*MigrateTabletReq) Op() Op        { return OpMigrateTabletReq }
+func (*MigrateTabletReq) WireSize() int { return headerSize + 8 + 8 + 8 + 4 }
+func (m *MigrateTabletReq) encodeBody(e *encoder) error {
+	e.u64(m.Table)
+	e.u64(m.FirstHash)
+	e.u64(m.LastHash)
+	e.i32(m.Dst)
+	return nil
+}
+
+func (*MigrateTabletResp) Op() Op               { return OpMigrateTabletResp }
+func (*MigrateTabletResp) WireSize() int        { return headerSize + 1 + 4 }
+func (m *MigrateTabletResp) RespStatus() Status { return m.Status }
+func (m *MigrateTabletResp) encodeBody(e *encoder) error {
+	e.u8(uint8(m.Status))
+	e.u32(m.Moved)
+	return nil
+}
+
+func (*TakeTabletReq) Op() Op { return OpTakeTabletReq }
+func (m *TakeTabletReq) WireSize() int {
+	body := 8 + 8 + 8 + 4
+	for i := range m.Objects {
+		body += objectSize(&m.Objects[i])
+	}
+	return headerSize + body
+}
+func (m *TakeTabletReq) encodeBody(e *encoder) error {
+	e.u64(m.Table)
+	e.u64(m.FirstHash)
+	e.u64(m.LastHash)
+	e.u32(uint32(len(m.Objects)))
+	for i := range m.Objects {
+		if err := encodeObject(e, &m.Objects[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (*TakeTabletResp) Op() Op               { return OpTakeTabletResp }
+func (*TakeTabletResp) WireSize() int        { return headerSize + 1 }
+func (m *TakeTabletResp) RespStatus() Status { return m.Status }
+func (m *TakeTabletResp) encodeBody(e *encoder) error {
+	e.u8(uint8(m.Status))
+	return nil
+}

@@ -62,6 +62,10 @@ const (
 	OpMultiReadResp
 	OpMultiWriteReq
 	OpMultiWriteResp
+	OpMigrateTabletReq
+	OpMigrateTabletResp
+	OpTakeTabletReq
+	OpTakeTabletResp
 )
 
 // Status is the result code carried by every response.
@@ -426,6 +430,40 @@ type RecoveryDoneReq struct {
 
 // RecoveryDoneResp acknowledges completion.
 type RecoveryDoneResp struct {
+	Status Status
+}
+
+// Migration plane ------------------------------------------------------------
+
+// MigrateTabletReq instructs the current owner of a tablet to transfer its
+// live objects in [FirstHash, LastHash] of Table to Dst and release
+// ownership. Issued by the coordinator when tablets re-spread onto a
+// rejoined server.
+type MigrateTabletReq struct {
+	Table     uint64
+	FirstHash uint64
+	LastHash  uint64
+	Dst       int32
+}
+
+// MigrateTabletResp acknowledges a completed migration.
+type MigrateTabletResp struct {
+	Status Status
+	Moved  uint32 // live objects transferred
+}
+
+// TakeTabletReq carries one batch of migrated objects to the tablet's new
+// owner, which replays them through its write path (re-replicating at its
+// configured factor).
+type TakeTabletReq struct {
+	Table     uint64
+	FirstHash uint64
+	LastHash  uint64
+	Objects   []Object
+}
+
+// TakeTabletResp acknowledges a migration batch.
+type TakeTabletResp struct {
 	Status Status
 }
 

@@ -67,6 +67,10 @@ func allMessages() []Message {
 			{Table: 1, Key: []byte("k2")}}},
 		&MultiWriteResp{Status: StatusOK, Items: []MultiWriteResult{
 			{Status: StatusOK, Version: 7}, {Status: StatusWrongServer}}},
+		&MigrateTabletReq{Table: 1, FirstHash: 100, LastHash: 200, Dst: 4},
+		&MigrateTabletResp{Status: StatusOK, Moved: 321},
+		&TakeTabletReq{Table: 1, FirstHash: 100, LastHash: 200, Objects: []Object{obj, tomb}},
+		&TakeTabletResp{Status: StatusOK},
 	}
 }
 
@@ -125,7 +129,7 @@ func TestOpCoversAllMessages(t *testing.T) {
 		}
 		seen[op] = true
 	}
-	for op := OpReadReq; op <= OpMultiWriteResp; op++ {
+	for op := OpReadReq; op <= OpTakeTabletResp; op++ {
 		if !seen[op] {
 			t.Errorf("opcode %d has no representative in allMessages", op)
 		}
