@@ -146,7 +146,7 @@ func TestPublicAPIDeterminism(t *testing.T) {
 		return sim.Now()
 	}
 	if a, b := run(), run(); a != b {
-		t.Fatalf("same seed produced different virtual durations: %v vs %v", a, b)
+		t.Fatalf("same seed produced different virtual durations: %v vs %v\nsomething outside (scenario, seed) leaked into the run; see LINTS.md for the usual suspects and the rcvet analyzers that catch them", a, b)
 	}
 }
 

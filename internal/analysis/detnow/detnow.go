@@ -1,0 +1,100 @@
+// Package detnow forbids wall-clock time and ambient randomness inside
+// the simulation tree. Every figure this repo renders must be a pure
+// function of (scenario, seed): a stray time.Now() or global math/rand
+// call compiles fine, passes a single run, and then ships as a flaky
+// determinism-gate diff hours later. This analyzer turns that class of
+// bug into a vet error.
+//
+// Flagged in deterministic packages (scope.Deterministic):
+//   - the wall-clock readers and sleepers of package time (Now, Sleep,
+//     Since, Until, After, Tick, AfterFunc, NewTimer, NewTicker) —
+//     simulated code must use sim.Time / Proc.Sleep;
+//   - package-level math/rand functions (Intn, Float64, Seed, ...),
+//     which draw from the process-global source — simulated code must
+//     draw from an explicitly seeded *rand.Rand (sim.Engine.Rand);
+//   - any import of math/rand/v2, whose global source cannot be seeded
+//     at all.
+//
+// Constructors that only build seeded state (rand.New, rand.NewSource,
+// rand.NewZipf) stay legal. Test files are exempt.
+package detnow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ramcloud/internal/analysis/framework"
+	"ramcloud/internal/analysis/scope"
+)
+
+// Analyzer is the detnow check.
+var Analyzer = &framework.Analyzer{
+	Name: "detnow",
+	Doc:  "forbid wall-clock time and global math/rand in simulation packages",
+	Run:  run,
+}
+
+// bannedTime are the package time functions that read or wait on the
+// host clock.
+var bannedTime = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// allowedRand are the math/rand constructors that build explicitly
+// seeded state instead of drawing from the global source.
+var allowedRand = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func run(pass *framework.Pass) error {
+	if !scope.Deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if scope.TestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"math/rand/v2"` {
+				pass.Reportf(imp.Pos(), "math/rand/v2 draws from an unseedable global source; use the engine's seeded RNG (sim.Engine.Rand)")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				if bannedTime[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "time.%s reads the host clock; simulation code must use sim.Time/sim.Duration and Proc.Sleep so runs replay identically", sel.Sel.Name)
+				}
+			case "math/rand":
+				obj := pass.TypesInfo.Uses[sel.Sel]
+				if _, isFunc := obj.(*types.Func); isFunc && !allowedRand[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "rand.%s draws from the process-global source; draw from an explicitly seeded *rand.Rand (sim.Engine.Rand) instead", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

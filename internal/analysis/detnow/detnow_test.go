@@ -1,0 +1,15 @@
+package detnow_test
+
+import (
+	"testing"
+
+	"ramcloud/internal/analysis/detnow"
+	"ramcloud/internal/analysis/framework/atest"
+)
+
+func TestDetnow(t *testing.T) {
+	atest.Run(t, detnow.Analyzer, "testdata",
+		"ramcloud/internal/detfix",
+		"example.com/outside",
+	)
+}

@@ -1,0 +1,43 @@
+// Package detfix is a detnow fixture: a package inside the simulated
+// tree exercising the banned and allowed time/rand surface.
+package detfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocks() time.Duration {
+	t0 := time.Now()                      // want `time\.Now reads the host clock`
+	time.Sleep(time.Millisecond)          // want `time\.Sleep reads the host clock`
+	d := time.Since(t0)                   // want `time\.Since reads the host clock`
+	_ = time.After(time.Second)           // want `time\.After reads the host clock`
+	_ = time.NewTicker(time.Second)       // want `time\.NewTicker reads the host clock`
+	const legal = 5 * time.Microsecond    // type and constants stay legal
+	_ = time.Duration(legal).Seconds()    // so do pure conversions
+	return d
+}
+
+func globalRand() int {
+	n := rand.Intn(10) // want `rand\.Intn draws from the process-global source`
+	rand.Seed(1)       // want `rand\.Seed draws from the process-global source`
+	_ = rand.Float64() // want `rand\.Float64 draws from the process-global source`
+	return n
+}
+
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // constructors build seeded state: legal
+	z := rand.NewZipf(r, 1.1, 1, 100)
+	_ = z.Uint64()
+	return r.Float64()
+}
+
+func suppressed() {
+	//rcvet:allow detnow host-side profiling hook, never runs under the engine
+	_ = time.Now()
+}
+
+func unjustified() {
+	//rcvet:allow detnow
+	_ = time.Now() // want `directive needs a justification` `time\.Now reads the host clock`
+}

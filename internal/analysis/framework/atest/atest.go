@@ -1,0 +1,185 @@
+// Package atest runs framework analyzers over testdata fixture packages
+// and checks their diagnostics against `// want "regexp"` comments, the
+// way x/tools' analysistest does. Fixture layout follows analysistest:
+//
+//	<analyzer>/testdata/src/<import/path>/*.go
+//
+// Each `// want` comment names one or more quoted regular expressions
+// that must each match exactly one diagnostic reported on that line; any
+// unmatched diagnostic or unsatisfied expectation fails the test.
+//
+// Fixture packages may import the standard library (type-checked from
+// GOROOT source) and other fixture packages loaded earlier in the same
+// Run call, so sealed-interface checks can exercise cross-package
+// scenarios without touching the real tree.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ramcloud/internal/analysis/framework"
+)
+
+// Run loads each fixture package under testdata/src in order (so later
+// packages may import earlier ones), runs the analyzer on every one of
+// them, and checks diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *framework.Analyzer, testdata string, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "source", nil)
+	loaded := map[string]*types.Package{}
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if pkg, ok := loaded[path]; ok {
+			return pkg, nil
+		}
+		return std.Import(path)
+	})
+
+	for _, pkgPath := range pkgPaths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		}
+		info := framework.NewInfo()
+		tc := &types.Config{Importer: imp, Error: func(err error) { t.Errorf("fixture %s: %v", pkgPath, err) }}
+		pkg, err := tc.Check(pkgPath, fset, files, info)
+		if err != nil {
+			t.Fatalf("typechecking fixture %s: %v", pkgPath, err)
+		}
+		loaded[pkgPath] = pkg
+
+		diags, err := framework.Run(a, fset, files, pkg, info)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+		}
+		checkWants(t, a, fset, files, diags)
+	}
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return fset.Position(files[i].Pos()).Filename < fset.Position(files[j].Pos()).Filename
+	})
+	return files, nil
+}
+
+type expectation struct {
+	re   *regexp.Regexp
+	pos  token.Position
+	used bool
+}
+
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// checkWants matches reported diagnostics against want expectations.
+func checkWants(t *testing.T, a *framework.Analyzer, fset *token.FileSet, files []*ast.File, diags []framework.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, pat := range splitQuoted(t, posn, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posn, pat, err)
+					}
+					key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+					wants[key] = append(wants[key], &expectation{re: re, pos: posn})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+		matched := false
+		for _, exp := range wants[key] {
+			if !exp.used && exp.re.MatchString(d.Message) {
+				exp.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected %s diagnostic: %s", posn, a.Name, d.Message)
+		}
+	}
+	for _, exps := range wants {
+		for _, exp := range exps {
+			if !exp.used {
+				t.Errorf("%s: expected %s diagnostic matching %q, got none", exp.pos, a.Name, exp.re)
+			}
+		}
+	}
+}
+
+// splitQuoted extracts the quoted regexps of one want comment.
+func splitQuoted(t *testing.T, posn token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("%s: malformed want comment near %q (patterns must be quoted)", posn, s)
+		}
+		quote := s[0]
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == quote && (quote == '`' || s[i-1] != '\\') {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("%s: unterminated pattern in want comment", posn)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad pattern %s: %v", posn, s[:end+1], err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,174 @@
+// Package framework is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis surface this repo needs. The
+// container building this repo has no module proxy access, so instead of
+// vendoring x/tools the rcvet suite runs on this ~300-line core: an
+// Analyzer is a named Run function over a type-checked package (a Pass),
+// and diagnostics are plain positions plus messages.
+//
+// Two drivers execute analyzers: framework/unit speaks the `go vet
+// -vettool` protocol (one process per package, export data supplied by
+// the go command), and framework/atest loads testdata fixture packages
+// from source and checks diagnostics against `// want "re"` comments,
+// mirroring x/tools' analysistest.
+//
+// Suppression: a site carrying the comment
+//
+//	//rcvet:allow <analyzer> <justification>
+//
+// on the flagged line, or alone on the line immediately above it,
+// suppresses that analyzer's diagnostics for the line. The justification
+// text is mandatory — a bare directive does not suppress and is itself
+// reported — so every exception in the tree documents why the invariant
+// holds anyway. See LINTS.md at the repo root.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //rcvet:allow directives. It must be a valid identifier.
+	Name string
+
+	// Doc is the one-paragraph description printed by rcvet help.
+	Doc string
+
+	// Run applies the check to one package. Diagnostics are delivered
+	// via pass.Report*; the error return is for analysis failures
+	// (not findings).
+	Run func(pass *Pass) error
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Drivers set it; analyzers call
+	// the Reportf helper instead.
+	Report func(Diagnostic)
+
+	// allow maps "file:line" to the directives in force there.
+	allow map[string][]allowDirective
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a diagnostic at pos unless an //rcvet:allow directive
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.allowed(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+var directiveRe = regexp.MustCompile(`^//rcvet:allow\s+([A-Za-z0-9_,]+)(.*)$`)
+
+type allowDirective struct {
+	analyzers []string
+	justified bool
+}
+
+// buildAllowIndex scans every file's comments once per pass.
+func (p *Pass) buildAllowIndex() {
+	p.allow = make(map[string][]allowDirective)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				d := allowDirective{
+					analyzers: strings.Split(m[1], ","),
+					justified: strings.TrimSpace(m[2]) != "",
+				}
+				posn := p.Fset.Position(c.Pos())
+				// The directive covers its own line and the next one, so
+				// it can trail the flagged statement or sit just above it.
+				for _, line := range []int{posn.Line, posn.Line + 1} {
+					key := fmt.Sprintf("%s:%d", posn.Filename, line)
+					p.allow[key] = append(p.allow[key], d)
+				}
+			}
+		}
+	}
+}
+
+// allowed reports whether a directive suppresses this analyzer at pos.
+// An unjustified directive suppresses nothing and is reported once, at
+// the moment it would have been used.
+func (p *Pass) allowed(pos token.Pos) bool {
+	if p.allow == nil {
+		p.buildAllowIndex()
+	}
+	posn := p.Fset.Position(pos)
+	key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+	for _, d := range p.allow[key] {
+		for _, name := range d.analyzers {
+			if name != p.Analyzer.Name {
+				continue
+			}
+			if !d.justified {
+				// Reported at the suppressed site (not the directive) so
+				// the finding and the fix-it share one line.
+				p.Report(Diagnostic{
+					Pos: pos,
+					Message: fmt.Sprintf(
+						"rcvet:allow %s directive needs a justification (//rcvet:allow %s <why the invariant holds here>)",
+						p.Analyzer.Name, p.Analyzer.Name),
+				})
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes one analyzer over a loaded package, collecting its
+// diagnostics. Drivers share this so suppression and error handling
+// behave identically under go vet and under atest.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return diags, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return diags, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

@@ -1,0 +1,51 @@
+// Package goroutine forbids bare go statements in the deterministic
+// simulation packages (sim, simnet, server, coordinator, client, core).
+//
+// The simulator is cooperatively scheduled: sim.Engine.Go parks each
+// proc on a resume channel and the event loop hands control to exactly
+// one runnable proc at a time, so simulated interleaving is a function
+// of the event heap, not of the OS scheduler. A raw go statement
+// bypasses that handoff — its writes race the engine, its timing varies
+// run to run, and any future conservative-lookahead sharding of the
+// engine (the PDES item on the roadmap) would be undermined silently.
+//
+// The two legitimate spawning sites — the engine scheduler itself and
+// the cross-scenario worker pool in core's Runner, both of which
+// synchronize before any simulated state is observed — carry
+// //rcvet:allow goroutine justifications. Anything new must either go
+// through sim.Engine.Go or document why OS-level concurrency cannot
+// perturb simulated time. Test files are exempt (race hammers drive the
+// pool from plain goroutines on purpose).
+package goroutine
+
+import (
+	"go/ast"
+
+	"ramcloud/internal/analysis/framework"
+	"ramcloud/internal/analysis/scope"
+)
+
+// Analyzer is the goroutine check.
+var Analyzer = &framework.Analyzer{
+	Name: "goroutine",
+	Doc:  "forbid bare go statements in deterministic simulation packages",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if !scope.SingleThreaded(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if scope.TestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "bare go statement in a deterministic package bypasses the engine's cooperative scheduler; spawn procs with sim.Engine.Go, or annotate //rcvet:allow goroutine <why>")
+			}
+			return true
+		})
+	}
+	return nil
+}

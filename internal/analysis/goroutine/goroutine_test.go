@@ -1,0 +1,15 @@
+package goroutine_test
+
+import (
+	"testing"
+
+	"ramcloud/internal/analysis/framework/atest"
+	"ramcloud/internal/analysis/goroutine"
+)
+
+func TestGoroutine(t *testing.T) {
+	atest.Run(t, goroutine.Analyzer, "testdata",
+		"ramcloud/internal/sim",
+		"ramcloud/internal/report",
+	)
+}

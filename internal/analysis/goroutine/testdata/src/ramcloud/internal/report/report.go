@@ -1,0 +1,9 @@
+// Package report is outside the single-threaded set: bare goroutines
+// are legal here (host-side rendering may fan out freely).
+package report
+
+func fanOut(fns []func()) {
+	for _, fn := range fns {
+		go fn()
+	}
+}

@@ -1,0 +1,18 @@
+// Package sim is a goroutine fixture standing in for the real engine
+// package (the analyzer keys on the import path, not the contents).
+package sim
+
+func spawn(fn func()) {
+	go fn() // want `bare go statement in a deterministic package`
+}
+
+func spawnAllowed(fn func(), done chan struct{}) {
+	//rcvet:allow goroutine fixture stand-in for the scheduler: parks immediately and hands control back before any simulated state is touched
+	go fn()
+	<-done
+}
+
+func spawnUnjustified(fn func()) {
+	//rcvet:allow goroutine
+	go fn() // want `directive needs a justification` `bare go statement in a deterministic package`
+}

@@ -1,0 +1,10 @@
+package sim
+
+// Test files are exempt: race hammers drive the pool from plain
+// goroutines on purpose. No diagnostics expected here.
+
+func hammer(fn func()) {
+	for i := 0; i < 4; i++ {
+		go fn()
+	}
+}

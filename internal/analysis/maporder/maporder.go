@@ -1,0 +1,223 @@
+// Package maporder flags range statements over maps whose bodies
+// produce order-dependent results. Go randomizes map iteration order
+// per loop, so a map range that appends to a slice, writes indexed
+// state, emits output, sends on a channel, or accumulates floats makes
+// the result depend on the runtime's coin flips — exactly what the
+// byte-identical rendering contract forbids.
+//
+// The standard sorted-keys idiom stays legal: a loop that only collects
+// keys (or values) into a slice which a sort.* / slices.* call orders
+// later in the same block is recognized and not flagged. Anything else
+// needs either a sort or an
+//
+//	//rcvet:allow maporder <justification>
+//
+// annotation explaining why order cannot leak into rendered output.
+// Test files are exempt.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ramcloud/internal/analysis/framework"
+	"ramcloud/internal/analysis/scope"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &framework.Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-dependent work inside range-over-map loops",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if !scope.Deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if scope.TestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch s := n.(type) {
+			case *ast.BlockStmt:
+				list = s.List
+			case *ast.CaseClause:
+				list = s.Body
+			case *ast.CommClause:
+				list = s.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				if ls, ok := stmt.(*ast.LabeledStmt); ok {
+					stmt = ls.Stmt
+				}
+				rs, ok := stmt.(*ast.RangeStmt)
+				if ok && isMapType(pass, rs.X) {
+					checkMapRange(pass, rs, list[i+1:])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isMapType(pass *framework.Pass, x ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange inspects one map-range body. following holds the
+// statements after the loop in its enclosing block, searched for the
+// sort call that legitimizes the collect-then-sort idiom.
+func checkMapRange(pass *framework.Pass, rs *ast.RangeStmt, following []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		// Nested map ranges are analyzed against their own block.
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rs && isMapType(pass, inner.X) {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, s, following)
+		case *ast.SendStmt:
+			pass.Reportf(s.Pos(), "send on a channel inside range over a map delivers in random order; iterate sorted keys instead")
+		case *ast.CallExpr:
+			checkCall(pass, s)
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *framework.Pass, rs *ast.RangeStmt, s *ast.AssignStmt, following []ast.Stmt) {
+	// v = append(v, ...) — legal only as the collect half of
+	// collect-then-sort, or when v lives per-iteration.
+	if len(s.Rhs) == 1 {
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+			target := rootIdentObj(pass, s.Lhs[0])
+			if target != nil && declaredInside(rs, target) {
+				return // fresh slice every iteration; order cannot leak
+			}
+			if target == nil || !sortedAfter(pass, target, following) {
+				pass.Reportf(s.Pos(), "append inside range over a map collects in random order; sort the result before it is used (sort.*/slices.* in the same block), or annotate //rcvet:allow maporder <why>")
+			}
+			return
+		}
+	}
+	for _, lhs := range s.Lhs {
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			switch pass.TypesInfo.Types[ix.X].Type.Underlying().(type) {
+			case *types.Slice, *types.Array:
+				pass.Reportf(s.Pos(), "indexed write into a slice inside range over a map depends on iteration order; iterate sorted keys instead")
+			}
+		}
+	}
+	// Floating-point accumulation is not associative: x += v over a map
+	// sums in random order and the low bits differ run to run.
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if obj := rootIdentObj(pass, s.Lhs[0]); obj != nil && declaredInside(rs, obj) {
+			return // per-iteration accumulator
+		}
+		if t := pass.TypesInfo.Types[s.Lhs[0]].Type; t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				pass.Reportf(s.Pos(), "floating-point accumulation inside range over a map is order-dependent (float addition is not associative); iterate sorted keys instead")
+			}
+		}
+	}
+}
+
+// declaredInside reports whether obj is declared within the loop — a
+// per-iteration variable whose contents never observe more than one
+// iteration's order.
+func declaredInside(rs *ast.RangeStmt, obj types.Object) bool {
+	return obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+}
+
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if ident, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.TypesInfo.Uses[ident].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s inside range over a map emits in random order; iterate sorted keys instead", sel.Sel.Name)
+			return
+		}
+	}
+	// Writer-style methods build ordered byte streams.
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		if _, ok := pass.TypesInfo.Selections[sel]; ok {
+			pass.Reportf(call.Pos(), "%s inside range over a map emits in random order; iterate sorted keys instead", sel.Sel.Name)
+		}
+	}
+}
+
+func isBuiltinAppend(pass *framework.Pass, call *ast.CallExpr) bool {
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[ident].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootIdentObj resolves the assigned variable of an append target.
+func rootIdentObj(pass *framework.Pass, e ast.Expr) types.Object {
+	if ident, ok := e.(*ast.Ident); ok {
+		return pass.TypesInfo.ObjectOf(ident)
+	}
+	return nil
+}
+
+// sortedAfter reports whether a sort.* or slices.* call mentioning obj
+// follows the loop in the same block.
+func sortedAfter(pass *framework.Pass, obj types.Object, following []ast.Stmt) bool {
+	for _, stmt := range following {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		pn, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+		if !ok {
+			continue
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			continue
+		}
+		mentions := false
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(n ast.Node) bool {
+				if ident, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(ident) == obj {
+					mentions = true
+				}
+				return !mentions
+			})
+		}
+		if mentions {
+			return true
+		}
+	}
+	return false
+}

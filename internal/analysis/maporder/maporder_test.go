@@ -1,0 +1,14 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"ramcloud/internal/analysis/framework/atest"
+	"ramcloud/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	atest.Run(t, maporder.Analyzer, "testdata",
+		"ramcloud/internal/mapfix",
+	)
+}

@@ -1,0 +1,97 @@
+// Package mapfix is a maporder fixture: order-dependent and order-safe
+// range-over-map bodies.
+package mapfix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append inside range over a map collects in random order`
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func perIteration(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var batch []int
+		for _, v := range vs {
+			batch = append(batch, v) // fresh slice per iteration: order-safe
+		}
+		total += len(batch)
+	}
+	return total
+}
+
+func indexedWrite(m map[int]string, out []string) {
+	for i, v := range m {
+		out[i%len(out)] = v // want `indexed write into a slice inside range over a map`
+	}
+}
+
+func floatAccum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `floating-point accumulation inside range over a map is order-dependent`
+	}
+	return sum
+}
+
+func intAccum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v // integer addition is associative: order-safe
+	}
+	return sum
+}
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside range over a map emits in random order`
+	}
+}
+
+func buildString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString inside range over a map emits in random order`
+	}
+	return b.String()
+}
+
+func sendAll(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `send on a channel inside range over a map delivers in random order`
+	}
+}
+
+func rangeOverSlice(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v) // slices iterate in order: not flagged
+	}
+	return out
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//rcvet:allow maporder result feeds a set membership check only; order never reaches output
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+// Package memokey statically verifies that the scenario memo key covers
+// every field of core.Scenario. The singleflight memo in internal/core
+// shares one simulation result per rendered key, so a Scenario field —
+// however deeply nested in ClientGroup, LoadPhase, FaultEvent or the
+// calibration Profile — that the encoder in memokey.go never reads
+// silently merges distinct scenarios into one cached result. The runtime
+// reflection test (TestMemoKeyDistinguishesEveryField) catches that at
+// test time; this analyzer catches it at vet time, before a simulation
+// ever runs.
+//
+// The check fires on any package containing a file named memokey.go
+// next to a struct type named Scenario: every exported field reachable
+// from Scenario through structs, pointers, slices and arrays — across
+// package boundaries, so the Profile's machine/energy/server/client
+// config structs are all walked — must be referenced at least once
+// inside memokey.go. Fields are reported at the top-level Scenario
+// field through which the unencoded leaf is reachable.
+package memokey
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"ramcloud/internal/analysis/framework"
+)
+
+// Analyzer is the memokey check.
+var Analyzer = &framework.Analyzer{
+	Name: "memokey",
+	Doc:  "verify the scenario memo-key encoder reads every Scenario field",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	var keyFiles []*ast.File
+	for _, f := range pass.Files {
+		if filepath.Base(pass.Fset.Position(f.Pos()).Filename) == "memokey.go" {
+			keyFiles = append(keyFiles, f)
+		}
+	}
+	if len(keyFiles) == 0 {
+		return nil
+	}
+	scenObj, ok := pass.Pkg.Scope().Lookup("Scenario").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	scenStruct, ok := scenObj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+
+	// Every struct-field object referenced anywhere in memokey.go —
+	// selector expressions and composite-literal keys both resolve
+	// through Uses.
+	referenced := map[*types.Var]bool{}
+	for _, f := range keyFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ident, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := pass.TypesInfo.Uses[ident].(*types.Var); ok && v.IsField() {
+				referenced[v] = true
+			}
+			return true
+		})
+	}
+
+	w := &walker{referenced: referenced, visited: map[*types.Named]bool{}}
+	for i := 0; i < scenStruct.NumFields(); i++ {
+		field := scenStruct.Field(i)
+		if !field.Exported() {
+			continue
+		}
+		w.top = field
+		w.walkField(field, "Scenario."+field.Name(), pass)
+	}
+	return nil
+}
+
+type walker struct {
+	referenced map[*types.Var]bool
+	visited    map[*types.Named]bool
+	top        *types.Var // current top-level Scenario field, for positions
+}
+
+func (w *walker) walkField(field *types.Var, path string, pass *framework.Pass) {
+	if !w.referenced[field] {
+		pass.Reportf(w.top.Pos(), "%s is not referenced by the memo-key encoder in memokey.go; two scenarios differing only there would share one memoized result", path)
+		// The leaf is already unencoded; descending would only repeat
+		// the finding for every sub-field.
+		return
+	}
+	w.walkType(field.Type(), path, pass)
+}
+
+func (w *walker) walkType(t types.Type, path string, pass *framework.Pass) {
+	switch t := t.(type) {
+	case *types.Pointer:
+		w.walkType(t.Elem(), path, pass)
+	case *types.Slice:
+		w.walkType(t.Elem(), path+"[]", pass)
+	case *types.Array:
+		w.walkType(t.Elem(), path+"[]", pass)
+	case *types.Named:
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		if w.visited[t] {
+			return
+		}
+		w.visited[t] = true
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			if !field.Exported() {
+				continue
+			}
+			w.walkField(field, path+"."+field.Name(), pass)
+		}
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			field := t.Field(i)
+			if !field.Exported() {
+				continue
+			}
+			w.walkField(field, path+"."+field.Name(), pass)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package memokey_test
+
+import (
+	"testing"
+
+	"ramcloud/internal/analysis/framework/atest"
+	"ramcloud/internal/analysis/memokey"
+)
+
+func TestMemokey(t *testing.T) {
+	atest.Run(t, memokey.Analyzer, "testdata",
+		"ramcloud/internal/memobad",
+		"ramcloud/internal/memocfg",
+		"ramcloud/internal/memook",
+	)
+}

@@ -1,0 +1,12 @@
+package memobad
+
+// memoKey deliberately skips Scenario.Missing, Nested.Y and Deep.W.
+func memoKey(s Scenario) string {
+	key := s.Name
+	_ = s.A
+	_ = s.B.X
+	for _, d := range s.C {
+		_ = d.Z
+	}
+	return key
+}

@@ -1,0 +1,23 @@
+// Package memobad is a memokey fixture whose encoder misses fields.
+package memobad
+
+type Nested struct {
+	X int
+	Y string // unencoded leaf: reported at Scenario.B below
+}
+
+type Deep struct {
+	Z int
+	W bool // unencoded leaf behind a slice of pointers
+}
+
+type Scenario struct {
+	Name    string
+	A       int
+	B       Nested // want `Scenario\.B\.Y is not referenced by the memo-key encoder`
+	C       []*Deep // want `Scenario\.C\[\]\.W is not referenced by the memo-key encoder`
+	Missing string // want `Scenario\.Missing is not referenced by the memo-key encoder`
+	hidden  int    // unexported fields are the encoder's business, not the analyzer's
+}
+
+func (s Scenario) use() int { return s.hidden }

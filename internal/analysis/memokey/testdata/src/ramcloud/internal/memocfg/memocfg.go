@@ -1,0 +1,8 @@
+// Package memocfg supplies a cross-package config struct for the
+// memokey fixtures; it has no memokey.go so the analyzer skips it.
+package memocfg
+
+type Config struct {
+	Servers int
+	Rate    float64
+}

@@ -1,0 +1,7 @@
+package memook
+
+import "fmt"
+
+func memoKey(s Scenario) string {
+	return fmt.Sprintf("%s|%d|%g", s.Name, s.Cfg.Servers, s.Cfg.Rate)
+}

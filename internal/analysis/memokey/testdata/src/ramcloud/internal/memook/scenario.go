@@ -1,0 +1,11 @@
+// Package memook is a memokey fixture whose encoder covers every
+// exported field, including those of a struct imported from another
+// package — no diagnostics expected.
+package memook
+
+import "ramcloud/internal/memocfg"
+
+type Scenario struct {
+	Name string
+	Cfg  memocfg.Config
+}

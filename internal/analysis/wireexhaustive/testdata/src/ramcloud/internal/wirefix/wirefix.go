@@ -1,0 +1,75 @@
+// Package wirefix is a wireexhaustive fixture: a sealed message
+// interface with an opcode method and a decode switch that misregisters
+// several implementations.
+package wirefix
+
+// Op is the opcode type.
+type Op uint8
+
+// Opcodes.
+const (
+	OpA Op = iota + 1
+	OpB
+	OpC
+	OpE
+)
+
+// Msg is sealed by the unexported seal method.
+type Msg interface {
+	Op() Op
+	seal()
+}
+
+// A is registered correctly.
+type A struct{ N int }
+
+func (A) Op() Op { return OpA }
+func (A) seal()  {}
+
+// B has no decode case.
+type B struct{} // want `B has no case in the decode switch over Op`
+
+func (B) Op() Op { return OpB }
+func (B) seal()  {}
+
+// C is registered correctly.
+type C struct{}
+
+func (C) Op() Op { return OpC }
+func (C) seal()  {}
+
+// D reuses C's opcode, and OpC's decode case builds a C, not a D.
+type D struct{} // want `D and C return the same opcode` `the decode case for D's opcode does not construct D`
+
+func (D) Op() Op { return OpC }
+func (D) seal()  {}
+
+// E has a decode case, but it constructs the wrong type.
+type E struct{} // want `the decode case for E's opcode does not construct E`
+
+func (E) Op() Op { return OpE }
+func (E) seal()  {}
+
+// F computes its opcode instead of returning a constant.
+type F struct{ alt bool } // want `F\.Op does not return a single opcode constant`
+
+func (f F) Op() Op {
+	if f.alt {
+		return OpA
+	}
+	return OpB
+}
+func (F) seal() {}
+
+// Decode is the decode switch the registration check audits.
+func Decode(op Op) Msg {
+	switch op {
+	case OpA:
+		return A{N: 0}
+	case OpC:
+		return C{}
+	case OpE:
+		return A{N: 1}
+	}
+	return nil
+}

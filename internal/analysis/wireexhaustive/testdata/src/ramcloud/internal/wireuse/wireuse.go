@@ -1,0 +1,38 @@
+// Package wireuse consumes wirefix's sealed interface: type switches
+// over it must carry a default case or list every implementation.
+package wireuse
+
+import "ramcloud/internal/wirefix"
+
+func partial(m wirefix.Msg) int {
+	switch m.(type) { // want `type switch over sealed wirefix\.Msg has no default case and misses: B, D, E, F`
+	case wirefix.A:
+		return 1
+	case *wirefix.C:
+		return 2
+	case nil:
+		return 0
+	}
+	return -1
+}
+
+func withDefault(m wirefix.Msg) int {
+	switch m.(type) {
+	case wirefix.A:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func exhaustive(m wirefix.Msg) int {
+	switch v := m.(type) {
+	case wirefix.A:
+		return v.N
+	case wirefix.B, wirefix.C, wirefix.D:
+		return 2
+	case *wirefix.E, *wirefix.F:
+		return 3
+	}
+	return -1
+}

@@ -1,0 +1,15 @@
+package wireexhaustive_test
+
+import (
+	"testing"
+
+	"ramcloud/internal/analysis/framework/atest"
+	"ramcloud/internal/analysis/wireexhaustive"
+)
+
+func TestWireexhaustive(t *testing.T) {
+	atest.Run(t, wireexhaustive.Analyzer, "testdata",
+		"ramcloud/internal/wirefix",
+		"ramcloud/internal/wireuse",
+	)
+}

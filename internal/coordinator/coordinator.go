@@ -234,15 +234,21 @@ func (c *Coordinator) CreateTableDirect(name string, serverSpan int) uint64 {
 // TabletMapDirect returns a snapshot of the full tablet map.
 func (c *Coordinator) TabletMapDirect() []wire.Tablet {
 	var all []wire.Tablet
+	for _, id := range c.sortedTableIDs() {
+		all = append(all, c.tablets[id]...)
+	}
+	return all
+}
+
+// sortedTableIDs returns the table IDs in ascending order; every walk of
+// c.tablets that can reach rendered output or the wire must use it.
+func (c *Coordinator) sortedTableIDs() []uint64 {
 	ids := make([]uint64, 0, len(c.tablets))
 	for id := range c.tablets {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		all = append(all, c.tablets[id]...)
-	}
-	return all
+	return ids
 }
 
 func (c *Coordinator) createTable(name string, span int) (uint64, bool) {
@@ -299,12 +305,7 @@ func (c *Coordinator) serveDropTable(req rpc.Request, m *wire.DropTableReq) {
 
 func (c *Coordinator) serveTabletMap(req rpc.Request) {
 	var all []wire.Tablet
-	ids := make([]uint64, 0, len(c.tablets))
-	for id := range c.tablets {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	for _, id := range c.sortedTableIDs() {
 		all = append(all, c.tablets[id]...)
 	}
 	c.ep.Reply(req, &wire.GetTabletMapResp{Status: wire.StatusOK, Tablets: all})

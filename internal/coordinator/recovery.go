@@ -78,11 +78,12 @@ func (c *Coordinator) declareDead(id int32) {
 	})
 }
 
-// deadTablets returns the tablets owned by a master.
+// deadTablets returns the tablets owned by a master, in table-ID order
+// so the RecoverReq tablet list is the same every run.
 func (c *Coordinator) deadTablets(id int32) []wire.Tablet {
 	var out []wire.Tablet
-	for _, ts := range c.tablets {
-		for _, t := range ts {
+	for _, tableID := range c.sortedTableIDs() {
+		for _, t := range c.tablets[tableID] {
 			if t.Master == id {
 				out = append(out, t)
 			}
@@ -276,9 +277,17 @@ func (c *Coordinator) maybeFinishRecovery(rec *recoveryState) {
 }
 
 // reassignPartitions restarts, on a survivor, every unfinished recovery
-// partition whose recovery master just died.
+// partition whose recovery master just died. Recoveries are visited in
+// crashed-ID order: the replacement master round-robin and the spawn
+// order of the re-recovery procs must not depend on map iteration.
 func (c *Coordinator) reassignPartitions(dead int32) {
-	for _, rec := range c.recoveries {
+	crashed := make([]int32, 0, len(c.recoveries))
+	for id := range c.recoveries {
+		crashed = append(crashed, id)
+	}
+	sort.Slice(crashed, func(i, j int) bool { return crashed[i] < crashed[j] })
+	for _, id := range crashed {
+		rec := c.recoveries[id]
 		alive := c.AliveServers()
 		if len(alive) == 0 {
 			continue

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// applyMutations perturbs one leaf of s per input byte, the byte picking
+// which leaf. Repeated bytes accumulate on the same leaf, so two
+// different schedules can still converge on deep-equal scenarios —
+// exactly the case the key must map to the same entry.
+func applyMutations(s *Scenario, data []byte, leaves int) {
+	for _, c := range data {
+		idx := 0
+		perturbLeaf(reflect.ValueOf(s).Elem(), &idx, int(c)%leaves, "Scenario")
+	}
+}
+
+// countLeaves probes the perturbation walker until it runs out of leaf
+// fields for this scenario value.
+func countLeaves() int {
+	leaves := 0
+	for {
+		s := memoKeyBase()
+		idx := 0
+		if _, ok := perturbLeaf(reflect.ValueOf(&s).Elem(), &idx, leaves, "Scenario"); !ok {
+			return leaves
+		}
+		leaves++
+	}
+}
+
+// FuzzMemoKey checks the memo key is injective on scenarios: two
+// scenarios share a key exactly when they are deep-equal. A collision
+// between distinct scenarios would silently serve one simulation's
+// result for the other (see LINTS.md, memokey).
+func FuzzMemoKey(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0}, []byte{1})
+	f.Add([]byte{7, 7}, []byte{7, 7})
+	f.Add([]byte{3, 9, 3}, []byte{9, 3, 3})
+	f.Add([]byte{255, 128, 0, 42}, []byte{42, 0, 128})
+
+	leaves := countLeaves()
+	if leaves == 0 {
+		f.Fatal("no perturbable leaves in Scenario")
+	}
+
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		// Slice-length leaves append an element per hit, so the walk cost
+		// grows with the schedule; cap it to keep every exec fast.
+		const maxMutations = 64
+		if len(a) > maxMutations {
+			a = a[:maxMutations]
+		}
+		if len(b) > maxMutations {
+			b = b[:maxMutations]
+		}
+		s1, s2 := memoKeyBase(), memoKeyBase()
+		applyMutations(&s1, a, leaves)
+		applyMutations(&s2, b, leaves)
+		k1, k2 := memoKey(s1), memoKey(s2)
+		if eq := reflect.DeepEqual(s1, s2); eq != (k1 == k2) {
+			if eq {
+				t.Fatalf("deep-equal scenarios got different keys:\n%q\n%q", k1, k2)
+			}
+			t.Fatalf("distinct scenarios collided on key %q\nmutations a=%v b=%v", k1, a, b)
+		}
+	})
+}

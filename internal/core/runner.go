@@ -161,6 +161,7 @@ func (r *Runner) each(n int, fn func(int)) {
 	var panicked any
 	for k := 0; k < w; k++ {
 		wg.Add(1)
+		//rcvet:allow goroutine pool workers run whole simulations, each on its own private Engine; results are folded in deterministic index order after wg.Wait, so scheduling cannot reach rendered output
 		go func() {
 			defer wg.Done()
 			defer func() {

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"sort"
+
 	"ramcloud/internal/rpc"
 	"ramcloud/internal/sim"
 	"ramcloud/internal/simnet"
@@ -119,6 +121,7 @@ func (s *Server) serveInventory(p *sim.Proc, req rpc.Request, m *wire.SegmentInv
 			infos = append(infos, wire.SegmentInfo{Segment: key.segment, Bytes: uint32(r.bytes)})
 		}
 	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Segment < infos[j].Segment })
 	s.ep.Reply(req, &wire.SegmentInventoryResp{Status: wire.StatusOK, Segments: infos})
 }
 

@@ -420,6 +420,7 @@ func (e *Engine) Shutdown() {
 	e.stopped = true
 	for p := range e.procs {
 		p.killed = true
+		//rcvet:allow maporder host-side teardown after Run returns; procs die without running and no simulated event or rendered output can observe the kill order
 		p.resume <- struct{}{}
 		<-e.yield
 	}
@@ -456,6 +457,7 @@ func (p *Proc) Now() Time { return p.eng.now }
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{name: name, eng: e, resume: make(chan struct{})}
 	e.procs[p] = struct{}{}
+	//rcvet:allow goroutine this IS the cooperative scheduler: the goroutine parks on p.resume immediately and only ever runs while the engine blocks on e.yield, so exactly one goroutine is runnable at a time
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {

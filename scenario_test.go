@@ -53,7 +53,7 @@ func TestRunScenarioMixedTenants(t *testing.T) {
 		t.Fatalf("RunScenario (replay): %v", err)
 	}
 	if m2.TotalOps != m.TotalOps || m2.TotalJoules != m.TotalJoules || m2.Duration != m.Duration {
-		t.Fatalf("replay diverged: %+v vs %+v", m2, m)
+		t.Fatalf("replay diverged: %+v vs %+v\nsomething outside (scenario, seed) leaked into the run; see LINTS.md for the usual suspects and the rcvet analyzers that catch them", m2, m)
 	}
 }
 
