@@ -1,0 +1,148 @@
+// Command rcclient talks to a real-transport cluster: one-shot get/put/
+// del operations, a tiny REPL, or a YCSB load mode that drives the same
+// workload mixes and key distributions as the simulated experiments.
+//
+// Examples:
+//
+//	rcclient -coord 127.0.0.1:7070 put user0000000001 hello
+//	rcclient -coord 127.0.0.1:7070 get user0000000001
+//	rcclient -coord 127.0.0.1:7070 repl
+//	rcclient -coord 127.0.0.1:7070 -workload a -records 5000 -ops 100000 -clients 8 -load ycsb
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ramcloud/internal/realnode"
+	"ramcloud/internal/transport"
+	"ramcloud/internal/ycsb"
+)
+
+func main() {
+	var (
+		coord    = flag.String("coord", "127.0.0.1:7070", "coordinator address")
+		table    = flag.String("table", "usertable", "table name")
+		span     = flag.Int("span", 0, "server span for table creation (0 = all servers)")
+		workload = flag.String("workload", "a", "YCSB workload for ycsb mode: a, b or c")
+		records  = flag.Int("records", 5000, "YCSB record count")
+		size     = flag.Int("size", 100, "YCSB value bytes per record")
+		ops      = flag.Int("ops", 10_000, "YCSB total operations")
+		clients  = flag.Int("clients", 4, "YCSB concurrent workers")
+		seed     = flag.Int64("seed", 42, "YCSB RNG seed")
+		load     = flag.Bool("load", false, "YCSB: run the load phase (insert all records) first")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: rcclient [flags] get|put|del|repl|ycsb [key [value]]")
+		os.Exit(2)
+	}
+
+	cl := realnode.NewClient(&transport.TCP{}, *coord, realnode.ClientConfig{})
+	defer cl.Close()
+	tid, err := cl.CreateTable(*table, *span)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcclient: open table: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch args[0] {
+	case "get", "put", "del":
+		if err := oneShot(cl, tid, args); err != nil {
+			fmt.Fprintf(os.Stderr, "rcclient: %v\n", err)
+			os.Exit(1)
+		}
+	case "repl":
+		repl(cl, tid)
+	case "ycsb":
+		w, err := ycsb.ByName(*workload, *records, *size)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rcclient: %v\n", err)
+			os.Exit(2)
+		}
+		res, err := realnode.RunYCSB(cl, tid, w, realnode.LoadOptions{
+			Clients: *clients, Ops: *ops, Seed: *seed, Load: *load,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rcclient: ycsb: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[OVERALL], RunTime(ms), %.0f\n", res.Elapsed.Seconds()*1000)
+		fmt.Printf("[OVERALL], Throughput(ops/sec), %.1f\n", res.Throughput)
+		fmt.Printf("[OVERALL], Operations, %d\n", res.Ops)
+		fmt.Printf("[OVERALL], 50thPercentileLatency(us), %.1f\n", float64(res.P50.Microseconds()))
+		fmt.Printf("[OVERALL], 99thPercentileLatency(us), %.1f\n", float64(res.P99.Microseconds()))
+		fmt.Printf("[READ], Operations, %d\n", res.Reads)
+		fmt.Printf("[UPDATE], Operations, %d\n", res.Updates)
+		fmt.Printf("[OVERALL], NotFound, %d\n", res.NotFound)
+		fmt.Printf("[OVERALL], Errors, %d\n", res.Errors)
+		if res.Errors > 0 {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "rcclient: unknown command %q\n", args[0])
+		os.Exit(2)
+	}
+}
+
+func oneShot(cl *realnode.Client, tid uint64, args []string) error {
+	switch args[0] {
+	case "get":
+		if len(args) != 2 {
+			return errors.New("get needs a key")
+		}
+		val, ver, err := cl.Get(tid, []byte(args[1]))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s (version %d)\n", val, ver)
+	case "put":
+		if len(args) != 3 {
+			return errors.New("put needs a key and a value")
+		}
+		ver, err := cl.Put(tid, []byte(args[1]), []byte(args[2]))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok (version %d)\n", ver)
+	case "del":
+		if len(args) != 2 {
+			return errors.New("del needs a key")
+		}
+		if err := cl.Delete(tid, []byte(args[1])); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+	}
+	return nil
+}
+
+func repl(cl *realnode.Client, tid uint64) {
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Println("rcclient repl: get <key> | put <key> <value> | del <key> | quit")
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "get", "put", "del":
+			if err := oneShot(cl, tid, fields); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+		default:
+			fmt.Printf("unknown command %q\n", fields[0])
+		}
+	}
+}

@@ -16,7 +16,20 @@ func Deterministic(pkgPath string) bool {
 		return false
 	}
 	// The analyzers and their fixtures are host-side tooling.
-	return !strings.HasPrefix(pkgPath, internalPrefix+"analysis")
+	if strings.HasPrefix(pkgPath, internalPrefix+"analysis") {
+		return false
+	}
+	// The real-transport stack (transport's TCP backend, the realnode
+	// hosts behind cmd/rccoord, rcserver and rcclient) legitimately uses
+	// wall-clock time, bare goroutines and OS scheduling: it exists to
+	// run the protocol on real sockets, not to render figures. Exempting
+	// the packages here, by scope, keeps their sources free of
+	// //rcvet:allow spam and keeps the exemption auditable in one place.
+	if strings.HasPrefix(pkgPath, internalPrefix+"transport") ||
+		strings.HasPrefix(pkgPath, internalPrefix+"realnode") {
+		return false
+	}
+	return true
 }
 
 // singleThreaded lists the packages making up the discrete-event

@@ -96,10 +96,12 @@ func NewStats() *Stats {
 	return &Stats{ReadLatency: metrics.NewHistogram(), WriteLatency: metrics.NewHistogram()}
 }
 
-// Client is one application client bound to a fabric node.
+// Client is one application client bound to a fabric node. Its
+// operation core speaks rpc.Caller — the substrate-facing interface —
+// rather than the concrete simulated endpoint.
 type Client struct {
 	eng   *sim.Engine
-	ep    *rpc.Endpoint
+	ep    rpc.Caller
 	coord simnet.NodeID
 	cfg   Config
 

@@ -1,0 +1,281 @@
+package realnode
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ramcloud/internal/transport"
+	"ramcloud/internal/ycsb"
+)
+
+// bootCluster starts an in-process coordinator plus n TCP masters on
+// loopback ephemeral ports and returns them with a connected client.
+func bootCluster(t *testing.T, n int) (*Coordinator, []*Server, *Client) {
+	t.Helper()
+	tr := &transport.TCP{RedialBase: 2 * time.Millisecond, RedialCap: 50 * time.Millisecond}
+	coord := NewCoordinator(tr, CoordConfig{
+		PingInterval:  20 * time.Millisecond,
+		MissThreshold: 3,
+		RPCTimeout:    time.Second,
+	})
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	t.Cleanup(coord.Stop)
+
+	servers := make([]*Server, n)
+	for i := range servers {
+		servers[i] = NewServer(tr, coord.Addr(), ServerConfig{EnlistBackoff: 10 * time.Millisecond})
+		if err := servers[i].Start("127.0.0.1:0"); err != nil {
+			t.Fatalf("server %d: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.Stop()
+		}
+	})
+
+	client := NewClient(tr, coord.Addr(), ClientConfig{
+		RPCTimeout: 500 * time.Millisecond,
+		MaxRetries: 80,
+		RetryBase:  2 * time.Millisecond,
+		RetryCap:   50 * time.Millisecond,
+	})
+	t.Cleanup(client.Close)
+	return coord, servers, client
+}
+
+func TestClusterBasicOps(t *testing.T) {
+	_, servers, client := bootCluster(t, 3)
+	table, err := client.CreateTable("usertable", 3)
+	if err != nil {
+		t.Fatalf("create table: %v", err)
+	}
+
+	// Read-your-write across enough keys to hit all three ranges. FNV
+	// key hashes of near-identical short keys share their high bits, so
+	// sequential YCSB keys only cover the whole hash space once a few
+	// thousand indices are in play (the experiments use >=8K records).
+	for i := 0; i < 2000; i++ {
+		key := ycsb.Key(i)
+		val := []byte(fmt.Sprintf("value-%04d", i))
+		if _, err := client.Put(table, key, val); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		got, _, err := client.Get(table, key)
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if !bytes.Equal(got, val) {
+			t.Fatalf("get %d: got %q, want %q", i, got, val)
+		}
+	}
+
+	// Overwrite bumps the version.
+	v1, err := client.Put(table, ycsb.Key(0), []byte("first"))
+	if err != nil {
+		t.Fatalf("put v1: %v", err)
+	}
+	v2, err := client.Put(table, ycsb.Key(0), []byte("second"))
+	if err != nil {
+		t.Fatalf("put v2: %v", err)
+	}
+	if v2 <= v1 {
+		t.Fatalf("version did not advance: %d then %d", v1, v2)
+	}
+	got, ver, err := client.Get(table, ycsb.Key(0))
+	if err != nil || string(got) != "second" || ver != v2 {
+		t.Fatalf("read-your-write: %q v%d err=%v, want \"second\" v%d", got, ver, err, v2)
+	}
+
+	// Delete, then not-found.
+	if err := client.Delete(table, ycsb.Key(0)); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, _, err := client.Get(table, ycsb.Key(0)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after delete: %v, want ErrNotFound", err)
+	}
+	if err := client.Delete(table, ycsb.Key(0)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v, want ErrNotFound", err)
+	}
+
+	// All three servers took writes (uniform keys, span 3).
+	for i, s := range servers {
+		if s.Objects() == 0 {
+			t.Fatalf("server %d owns no objects: routing never reached it", i)
+		}
+	}
+}
+
+// TestClusterKillServer is the loopback failover check: a small YCSB-A
+// mix runs against 3 masters, one master's listener is severed mid-run,
+// and every operation must still terminate as success or an explicit
+// NotFound (data lost with the dead, unreplicated master) — never a
+// silent loss, a protocol error, or a hang.
+func TestClusterKillServer(t *testing.T) {
+	coord, servers, client := bootCluster(t, 3)
+	table, err := client.CreateTable("usertable", 3)
+	if err != nil {
+		t.Fatalf("create table: %v", err)
+	}
+
+	w := ycsb.WorkloadA(5000, 64) // >=5K records so all three hash ranges carry load
+	for i := 0; i < w.RecordCount; i++ {
+		if _, err := client.Put(table, ycsb.Key(i), Value(w, i)); err != nil {
+			t.Fatalf("load %d: %v", i, err)
+		}
+	}
+
+	const nWorkers = 4
+	const opsPerWorker = 400
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		done     int
+		notFound int
+		failures []string
+	)
+	for wkr := 0; wkr < nWorkers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + wkr)))
+			ch := w.NewChooser()
+			for n := 0; n < opsPerWorker; n++ {
+				rec := ch.Next(rng)
+				key := ycsb.Key(rec)
+				var err error
+				if rng.Float64() < w.ReadProp {
+					_, _, err = client.Get(table, key)
+				} else {
+					_, err = client.Put(table, key, Value(w, rec))
+				}
+				mu.Lock()
+				switch {
+				case err == nil:
+					done++
+				case errors.Is(err, ErrNotFound):
+					done++
+					notFound++
+				default:
+					failures = append(failures, fmt.Sprintf("worker %d op %d: %v", wkr, n, err))
+				}
+				mu.Unlock()
+			}
+		}(wkr)
+	}
+
+	// Sever one master mid-run. Its tablets reassign to the survivors
+	// once the coordinator's pings miss the threshold.
+	time.Sleep(50 * time.Millisecond)
+	servers[1].Stop()
+
+	wg.Wait()
+
+	if len(failures) > 0 {
+		t.Fatalf("%d ops failed; first: %s", len(failures), failures[0])
+	}
+	if done != nWorkers*opsPerWorker {
+		t.Fatalf("completed %d/%d ops", done, nWorkers*opsPerWorker)
+	}
+	t.Logf("ops=%d notFound=%d (lost with the killed master) refreshes=%d retries=%d",
+		done, notFound, client.Stats().Refreshes.Load(), client.Stats().Retries.Load())
+
+	// The coordinator observed the death.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(coord.Servers()) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator still reports %d servers", len(coord.Servers()))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Post-failover, writes and read-your-write work everywhere again.
+	for i := 0; i < 100; i++ {
+		key := ycsb.Key(i)
+		val := []byte(fmt.Sprintf("after-failover-%04d", i))
+		if _, err := client.Put(table, key, val); err != nil {
+			t.Fatalf("post-failover put %d: %v", i, err)
+		}
+		got, _, err := client.Get(table, key)
+		if err != nil || !bytes.Equal(got, val) {
+			t.Fatalf("post-failover get %d: %q err=%v", i, got, err)
+		}
+	}
+}
+
+// TestClusterServerRejoin restarts a killed master (new process, same
+// enlist path) and checks it re-enters service for new tables.
+func TestClusterServerRejoin(t *testing.T) {
+	coord, servers, client := bootCluster(t, 2)
+	if _, err := client.CreateTable("t1", 2); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	servers[0].Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(coord.Servers()) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("death not detected: %d servers", len(coord.Servers()))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	tr := &transport.TCP{RedialBase: 2 * time.Millisecond, RedialCap: 50 * time.Millisecond}
+	fresh := NewServer(tr, coord.Addr(), ServerConfig{EnlistBackoff: 10 * time.Millisecond})
+	if err := fresh.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	t.Cleanup(fresh.Stop)
+	deadline = time.Now().Add(2 * time.Second)
+	for len(coord.Servers()) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rejoin not observed: %d servers", len(coord.Servers()))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	table, err := client.CreateTable("t2", 2)
+	if err != nil {
+		t.Fatalf("create t2: %v", err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := client.Put(table, ycsb.Key(i), []byte("x")); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if fresh.Objects() == 0 {
+		t.Fatal("rejoined server serves no objects")
+	}
+}
+
+// TestRunYCSB exercises the exported load driver end to end.
+func TestRunYCSB(t *testing.T) {
+	_, _, client := bootCluster(t, 3)
+	table, err := client.CreateTable("usertable", 3)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	w := ycsb.WorkloadA(200, 32)
+	res, err := RunYCSB(client, table, w, LoadOptions{Clients: 4, Ops: 1000, Seed: 42, Load: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d protocol errors", res.Errors)
+	}
+	if res.Ops != 1000 {
+		t.Fatalf("completed %d/1000", res.Ops)
+	}
+	if res.NotFound != 0 {
+		t.Fatalf("%d not-found after full load phase", res.NotFound)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("implausible latencies p50=%v p99=%v", res.P50, res.P99)
+	}
+}

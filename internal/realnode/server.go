@@ -1,0 +1,364 @@
+package realnode
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ramcloud/internal/hashtable"
+	"ramcloud/internal/logstore"
+	"ramcloud/internal/transport"
+	"ramcloud/internal/wire"
+)
+
+// ServerConfig tunes a real master.
+type ServerConfig struct {
+	// MemoryBytes is advertised at enlistment. Default 1 GiB.
+	MemoryBytes int64
+	// EnlistTimeout bounds one enlist attempt. Default 1s.
+	EnlistTimeout time.Duration
+	// EnlistBackoff paces enlist retries. Default 200ms.
+	EnlistBackoff time.Duration
+}
+
+func (c ServerConfig) memoryBytes() int64 {
+	if c.MemoryBytes > 0 {
+		return c.MemoryBytes
+	}
+	return 1 << 30
+}
+
+func (c ServerConfig) enlistTimeout() time.Duration {
+	if c.EnlistTimeout > 0 {
+		return c.EnlistTimeout
+	}
+	return time.Second
+}
+
+func (c ServerConfig) enlistBackoff() time.Duration {
+	if c.EnlistBackoff > 0 {
+		return c.EnlistBackoff
+	}
+	return 200 * time.Millisecond
+}
+
+// Server is a real-transport master: the same log-structured store the
+// simulated master uses (hashtable index over an append-only log), but
+// serialized behind a sync mutex instead of sim time, and carrying real
+// value bytes — virtual (length-only) payloads cannot cross a real wire.
+type Server struct {
+	tr        transport.Interface
+	cfg       ServerConfig
+	coordAddr string
+
+	ln transport.Listener
+	id int32
+
+	mu          sync.Mutex
+	ht          *hashtable.Table
+	log         *logstore.Log
+	nextVersion uint64
+	tablets     []wire.Tablet
+
+	readsOK, writesOK, deletesOK uint64
+	wrongServer                  uint64
+}
+
+// NewServer creates a master (not yet listening or enlisted).
+func NewServer(tr transport.Interface, coordAddr string, cfg ServerConfig) *Server {
+	return &Server{
+		tr:        tr,
+		cfg:       cfg,
+		coordAddr: coordAddr,
+		ht:        hashtable.New(1 << 12),
+		log:       logstore.NewLog(logstore.DefaultConfig()),
+	}
+}
+
+// Start binds addr and enlists with the coordinator, retrying with
+// backoff until the coordinator answers (so boot order doesn't matter).
+func (s *Server) Start(addr string) error {
+	ln, err := s.tr.Listen(addr, transport.HandlerFunc(s.serve))
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	conn, err := s.tr.Dial(s.coordAddr)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	defer conn.Close()
+	req := &wire.EnlistAddrReq{Addr: ln.Addr(), MemoryBytes: s.cfg.memoryBytes()}
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.enlistTimeout())
+		resp, err := conn.Call(ctx, req)
+		cancel()
+		if err == nil {
+			m, ok := resp.(*wire.EnlistAddrResp)
+			if !ok || m.Status != wire.StatusOK {
+				ln.Close()
+				return fmt.Errorf("realnode: enlist rejected: %#v", resp)
+			}
+			s.id = m.ServerID
+			return nil
+		}
+		if attempt >= 50 {
+			ln.Close()
+			return fmt.Errorf("realnode: enlist with %s: %w", s.coordAddr, err)
+		}
+		time.Sleep(s.cfg.enlistBackoff())
+	}
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr() }
+
+// ID returns the coordinator-assigned server id (valid after Start).
+func (s *Server) ID() int32 { return s.id }
+
+// Stop severs the listener; in-flight peers see connection loss. The
+// store is discarded with the process — there is no recovery path.
+func (s *Server) Stop() { s.ln.Close() }
+
+func (s *Server) serve(remote string, msg wire.Message) wire.Message {
+	switch m := msg.(type) {
+	case *wire.ReadReq:
+		return s.serveRead(m)
+	case *wire.WriteReq:
+		return s.serveWrite(m)
+	case *wire.DeleteReq:
+		return s.serveDelete(m)
+	case *wire.MultiReadReq:
+		return s.serveMultiRead(m)
+	case *wire.MultiWriteReq:
+		return s.serveMultiWrite(m)
+	case *wire.AssignTabletsReq:
+		return s.serveAssign(m)
+	case *wire.PingReq:
+		return &wire.PingResp{Seq: m.Seq}
+	default:
+		return nil // unknown request: drop, peer times out
+	}
+}
+
+// serveAssign installs the replace-all ownership pushed by the
+// coordinator.
+func (s *Server) serveAssign(m *wire.AssignTabletsReq) wire.Message {
+	s.mu.Lock()
+	s.tablets = append([]wire.Tablet(nil), m.Tablets...)
+	s.mu.Unlock()
+	return &wire.AssignTabletsResp{Status: wire.StatusOK}
+}
+
+func (s *Server) ownsLocked(table, keyHash uint64) bool {
+	for _, t := range s.tablets {
+		if t.Table == table && keyHash >= t.StartHash && keyHash <= t.EndHash {
+			return true
+		}
+	}
+	return false
+}
+
+// keyEq matches the hash-table candidate whose log entry carries exactly
+// (table, key). Caller holds s.mu.
+func (s *Server) keyEq(table uint64, key []byte) hashtable.EqualFunc {
+	return func(packed uint64) bool {
+		e, err := s.log.Get(logstore.UnpackRef(packed))
+		if err != nil {
+			return false
+		}
+		return e.Table == table && string(e.Key) == string(key)
+	}
+}
+
+// indexEntry mirrors the simulated master: update the index, mark the
+// displaced version dead. Caller holds s.mu.
+func (s *Server) indexEntry(entry logstore.Entry, ref logstore.Ref) {
+	eq := s.keyEq(entry.Table, entry.Key)
+	if entry.Type == logstore.EntryTombstone {
+		if old, ok := s.ht.Delete(entry.KeyHash, eq); ok {
+			_ = s.log.MarkDead(logstore.UnpackRef(old))
+		}
+		return
+	}
+	if old, ok := s.ht.Replace(entry.KeyHash, eq, ref.Packed()); ok {
+		_ = s.log.MarkDead(logstore.UnpackRef(old))
+	} else {
+		s.ht.Insert(entry.KeyHash, ref.Packed())
+	}
+}
+
+// appendLocked rolls the head if needed and appends. Caller holds s.mu.
+func (s *Server) appendLocked(entry logstore.Entry) (logstore.Ref, error) {
+	if s.log.NeedsRoll(entry.StorageSize()) {
+		s.log.Roll()
+	}
+	return s.log.Append(entry)
+}
+
+func (s *Server) serveRead(m *wire.ReadReq) wire.Message {
+	keyHash := hashtable.HashKey(m.Table, m.Key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ownsLocked(m.Table, keyHash) {
+		s.wrongServer++
+		return &wire.ReadResp{Status: wire.StatusWrongServer}
+	}
+	packed, ok := s.ht.Lookup(keyHash, s.keyEq(m.Table, m.Key))
+	if !ok {
+		return &wire.ReadResp{Status: wire.StatusUnknownKey}
+	}
+	e, err := s.log.Get(logstore.UnpackRef(packed))
+	if err != nil || e.Type != logstore.EntryObject {
+		return &wire.ReadResp{Status: wire.StatusUnknownKey}
+	}
+	s.readsOK++
+	return &wire.ReadResp{
+		Status:   wire.StatusOK,
+		Version:  e.Version,
+		ValueLen: e.ValueLen,
+		Value:    append([]byte(nil), e.Value...),
+	}
+}
+
+func (s *Server) serveWrite(m *wire.WriteReq) wire.Message {
+	keyHash := hashtable.HashKey(m.Table, m.Key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ownsLocked(m.Table, keyHash) {
+		s.wrongServer++
+		return &wire.WriteResp{Status: wire.StatusWrongServer}
+	}
+	s.nextVersion++
+	entry := logstore.Entry{
+		Type:     logstore.EntryObject,
+		Table:    m.Table,
+		KeyHash:  keyHash,
+		Key:      append([]byte(nil), m.Key...),
+		ValueLen: m.ValueLen,
+		Value:    append([]byte(nil), m.Value...),
+		Version:  s.nextVersion,
+	}
+	ref, err := s.appendLocked(entry)
+	if err != nil {
+		return &wire.WriteResp{Status: wire.StatusError}
+	}
+	s.indexEntry(entry, ref)
+	s.writesOK++
+	return &wire.WriteResp{Status: wire.StatusOK, Version: entry.Version}
+}
+
+func (s *Server) serveDelete(m *wire.DeleteReq) wire.Message {
+	keyHash := hashtable.HashKey(m.Table, m.Key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ownsLocked(m.Table, keyHash) {
+		s.wrongServer++
+		return &wire.DeleteResp{Status: wire.StatusWrongServer}
+	}
+	eq := s.keyEq(m.Table, m.Key)
+	packed, ok := s.ht.Lookup(keyHash, eq)
+	if !ok {
+		return &wire.DeleteResp{Status: wire.StatusUnknownKey}
+	}
+	oldRef := logstore.UnpackRef(packed)
+	s.nextVersion++
+	tomb := logstore.Entry{
+		Type:          logstore.EntryTombstone,
+		Table:         m.Table,
+		KeyHash:       keyHash,
+		Key:           append([]byte(nil), m.Key...),
+		Version:       s.nextVersion,
+		ObjectSegment: oldRef.Segment,
+	}
+	ref, err := s.appendLocked(tomb)
+	if err != nil {
+		return &wire.DeleteResp{Status: wire.StatusError}
+	}
+	s.indexEntry(tomb, ref)
+	s.deletesOK++
+	return &wire.DeleteResp{Status: wire.StatusOK, Version: tomb.Version}
+}
+
+func (s *Server) serveMultiRead(m *wire.MultiReadReq) wire.Message {
+	items := make([]wire.MultiReadResult, len(m.Items))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range m.Items {
+		it := &m.Items[i]
+		keyHash := hashtable.HashKey(it.Table, it.Key)
+		if !s.ownsLocked(it.Table, keyHash) {
+			s.wrongServer++
+			items[i].Status = wire.StatusWrongServer
+			continue
+		}
+		packed, ok := s.ht.Lookup(keyHash, s.keyEq(it.Table, it.Key))
+		if !ok {
+			items[i].Status = wire.StatusUnknownKey
+			continue
+		}
+		e, err := s.log.Get(logstore.UnpackRef(packed))
+		if err != nil || e.Type != logstore.EntryObject {
+			items[i].Status = wire.StatusUnknownKey
+			continue
+		}
+		s.readsOK++
+		items[i] = wire.MultiReadResult{
+			Status:   wire.StatusOK,
+			Version:  e.Version,
+			ValueLen: e.ValueLen,
+			Value:    append([]byte(nil), e.Value...),
+		}
+	}
+	return &wire.MultiReadResp{Status: wire.StatusOK, Items: items}
+}
+
+func (s *Server) serveMultiWrite(m *wire.MultiWriteReq) wire.Message {
+	items := make([]wire.MultiWriteResult, len(m.Items))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range m.Items {
+		it := &m.Items[i]
+		keyHash := hashtable.HashKey(it.Table, it.Key)
+		if !s.ownsLocked(it.Table, keyHash) {
+			s.wrongServer++
+			items[i].Status = wire.StatusWrongServer
+			continue
+		}
+		s.nextVersion++
+		entry := logstore.Entry{
+			Type:     logstore.EntryObject,
+			Table:    it.Table,
+			KeyHash:  keyHash,
+			Key:      append([]byte(nil), it.Key...),
+			ValueLen: it.ValueLen,
+			Value:    append([]byte(nil), it.Value...),
+			Version:  s.nextVersion,
+		}
+		ref, err := s.appendLocked(entry)
+		if err != nil {
+			items[i].Status = wire.StatusError
+			continue
+		}
+		s.indexEntry(entry, ref)
+		s.writesOK++
+		items[i] = wire.MultiWriteResult{Status: wire.StatusOK, Version: entry.Version}
+	}
+	return &wire.MultiWriteResp{Status: wire.StatusOK, Items: items}
+}
+
+// Counters reports (reads, writes, deletes, wrong-server) served OK.
+func (s *Server) Counters() (reads, writes, deletes, wrongServer uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readsOK, s.writesOK, s.deletesOK, s.wrongServer
+}
+
+// Objects returns the number of live objects indexed.
+func (s *Server) Objects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ht.Len()
+}

@@ -1,0 +1,159 @@
+package realnode
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"ramcloud/internal/ycsb"
+)
+
+// LoadOptions configures a real-cluster YCSB run.
+type LoadOptions struct {
+	Clients int   // concurrent worker goroutines (default 4)
+	Ops     int   // total operations across workers (default 10000)
+	Seed    int64 // base RNG seed; worker i uses Seed+i
+	Load    bool  // run the load phase (insert every record) first
+}
+
+func (o LoadOptions) clients() int {
+	if o.Clients > 0 {
+		return o.Clients
+	}
+	return 4
+}
+
+func (o LoadOptions) ops() int {
+	if o.Ops > 0 {
+		return o.Ops
+	}
+	return 10000
+}
+
+// LoadResult summarizes a real-cluster YCSB run. Unlike the simulated
+// results these are wall-clock measurements of the local TCP cluster —
+// useful as a protocol soak and a sanity scale, not as figures.
+type LoadResult struct {
+	Ops        int           // operations that completed (incl. NotFound)
+	Reads      int
+	Updates    int
+	NotFound   int           // reads of keys with no live object
+	Errors     int           // ErrUnavailable and protocol failures
+	Elapsed    time.Duration
+	P50, P99   time.Duration // completed-op latency percentiles
+	Throughput float64       // completed ops per second
+}
+
+// Value renders the deterministic payload for record i: RecordSize bytes
+// derived from the key, so any reader can validate what it fetched.
+func Value(w ycsb.Workload, i int) []byte {
+	key := ycsb.Key(i)
+	v := make([]byte, w.RecordSize)
+	for j := range v {
+		v[j] = key[j%len(key)] ^ byte(j)
+	}
+	return v
+}
+
+// RunYCSB drives the workload mix against a live cluster through c. The
+// key distribution and operation mix come from the same internal/ycsb
+// generators the simulated runs use.
+func RunYCSB(c *Client, table uint64, w ycsb.Workload, opts LoadOptions) (LoadResult, error) {
+	if opts.Load {
+		if err := loadPhase(c, table, w, opts); err != nil {
+			return LoadResult{}, err
+		}
+	}
+
+	nClients := opts.clients()
+	totalOps := opts.ops()
+	var res LoadResult
+	var mu sync.Mutex
+	lats := make([]time.Duration, 0, totalOps)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < nClients; i++ {
+		share := totalOps / nClients
+		if i < totalOps%nClients {
+			share++
+		}
+		wg.Add(1)
+		go func(worker, nOps int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(worker)))
+			ch := w.NewChooser()
+			var local LoadResult
+			localLats := make([]time.Duration, 0, nOps)
+			for n := 0; n < nOps; n++ {
+				rec := ch.Next(rng)
+				key := ycsb.Key(rec)
+				opStart := time.Now()
+				var err error
+				if rng.Float64() < w.ReadProp {
+					local.Reads++
+					_, _, err = c.Get(table, key)
+				} else {
+					local.Updates++
+					_, err = c.Put(table, key, Value(w, rec))
+				}
+				switch {
+				case err == nil:
+					local.Ops++
+					localLats = append(localLats, time.Since(opStart))
+				case errors.Is(err, ErrNotFound):
+					local.Ops++
+					local.NotFound++
+					localLats = append(localLats, time.Since(opStart))
+				default:
+					local.Errors++
+				}
+			}
+			mu.Lock()
+			res.Ops += local.Ops
+			res.Reads += local.Reads
+			res.Updates += local.Updates
+			res.NotFound += local.NotFound
+			res.Errors += local.Errors
+			lats = append(lats, localLats...)
+			mu.Unlock()
+		}(i, share)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) > 0 {
+		res.P50 = lats[len(lats)/2]
+		res.P99 = lats[len(lats)*99/100]
+	}
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Ops) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// loadPhase inserts every record, split across workers.
+func loadPhase(c *Client, table uint64, w ycsb.Workload, opts LoadOptions) error {
+	nClients := opts.clients()
+	var wg sync.WaitGroup
+	errCh := make(chan error, nClients)
+	for i := 0; i < nClients; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for rec := worker; rec < w.RecordCount; rec += nClients {
+				if _, err := c.Put(table, ycsb.Key(rec), Value(w, rec)); err != nil {
+					errCh <- fmt.Errorf("load record %d: %w", rec, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}

@@ -17,6 +17,23 @@ import (
 	"ramcloud/internal/wire"
 )
 
+// Caller is the outbound-RPC surface the client's operation core runs
+// on: issue a request and correlate its response, with or without a
+// deadline. Endpoint is the simulated-fabric implementation; extracting
+// the interface keeps the op core free of any simnet hard-wiring, so an
+// alternative substrate only has to supply these four methods.
+type Caller interface {
+	// Node returns the caller's fabric address.
+	Node() simnet.NodeID
+	// Sent returns the number of requests issued.
+	Sent() uint64
+	// StartCall issues a request without blocking and returns the
+	// in-flight handle.
+	StartCall(to simnet.NodeID, msg wire.Message) Call
+	// CallTimeout issues a request and waits up to d for its response.
+	CallTimeout(p *sim.Proc, to simnet.NodeID, msg wire.Message, d sim.Duration) (wire.Message, bool)
+}
+
 // Request is an inbound RPC awaiting service.
 type Request struct {
 	From      simnet.NodeID

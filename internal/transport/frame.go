@@ -1,0 +1,55 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ramcloud/internal/wire"
+)
+
+// A marshaled wire.Envelope is self-framing: its header carries the
+// opcode (1 byte), the RPC id (8) and the total frame length (4,
+// little-endian), so the frame reader needs no extra prefix — it reads
+// the header, validates the length field against hard bounds, and then
+// reads exactly the remaining bytes. The length bytes come off the
+// network and are validated BEFORE any allocation sized by them: a
+// hostile prefix is rejected with wire.ErrTooLarge / wire.ErrBadLength
+// instead of driving a multi-gigabyte make([]byte, ...).
+
+// ReadFrame reads one envelope frame from r. io.EOF is returned only at
+// a clean frame boundary; a frame torn mid-read surfaces as
+// io.ErrUnexpectedEOF. Decode failures carry the wire package's typed
+// errors so callers can log-and-drop.
+func ReadFrame(r io.Reader) (wire.Envelope, error) {
+	var hdr [wire.HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return wire.Envelope{}, io.EOF
+		}
+		return wire.Envelope{}, fmt.Errorf("transport: torn frame header: %w", io.ErrUnexpectedEOF)
+	}
+	total := binary.LittleEndian.Uint32(hdr[9:13])
+	if total < wire.HeaderSize {
+		return wire.Envelope{}, fmt.Errorf("%w: frame length %d < header %d", wire.ErrBadLength, total, wire.HeaderSize)
+	}
+	if total > wire.MaxEnvelopeSize {
+		return wire.Envelope{}, fmt.Errorf("%w: frame length %d", wire.ErrTooLarge, total)
+	}
+	buf := make([]byte, total)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[wire.HeaderSize:]); err != nil {
+		return wire.Envelope{}, fmt.Errorf("transport: torn frame body: %w", io.ErrUnexpectedEOF)
+	}
+	return wire.Unmarshal(buf)
+}
+
+// WriteFrame marshals env and writes it as one frame.
+func WriteFrame(w io.Writer, env wire.Envelope) error {
+	b, err := wire.Marshal(env)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"ramcloud/internal/wire"
+)
+
+func frameBytes(t *testing.T, env wire.Envelope) []byte {
+	t.Helper()
+	b, err := wire.Marshal(env)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	msgs := []wire.Message{
+		&wire.PingReq{},
+		&wire.ReadReq{Table: 3, Key: []byte("user0000000042")},
+		&wire.WriteResp{Status: wire.StatusOK, Version: 9},
+		&wire.ServerListResp{Status: wire.StatusOK, Servers: []wire.ServerAddr{{ID: 1, Addr: "127.0.0.1:4242"}}},
+	}
+	var buf bytes.Buffer
+	for i, m := range msgs {
+		if err := WriteFrame(&buf, wire.Envelope{RPCID: uint64(i + 1), Msg: m}); err != nil {
+			t.Fatalf("write frame %d: %v", i, err)
+		}
+	}
+	for i, m := range msgs {
+		env, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read frame %d: %v", i, err)
+		}
+		if env.RPCID != uint64(i+1) {
+			t.Fatalf("frame %d: rpc id %d, want %d", i, env.RPCID, i+1)
+		}
+		got, err := wire.Marshal(env)
+		if err != nil {
+			t.Fatalf("re-marshal frame %d: %v", i, err)
+		}
+		want := frameBytes(t, wire.Envelope{RPCID: uint64(i + 1), Msg: m})
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d did not round-trip", i)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("exhausted stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTornReads(t *testing.T) {
+	full := frameBytes(t, wire.Envelope{RPCID: 7, Msg: &wire.ReadReq{Table: 1, Key: []byte("k")}})
+	for cut := 1; cut < len(full); cut++ {
+		_, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d/%d: got %v, want io.ErrUnexpectedEOF", cut, len(full), err)
+		}
+	}
+}
+
+func TestFrameHostileLength(t *testing.T) {
+	full := frameBytes(t, wire.Envelope{RPCID: 1, Msg: &wire.PingReq{}})
+
+	// Length field claiming a multi-gigabyte frame must be rejected
+	// before any allocation sized by it.
+	huge := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint32(huge[9:13], 0xFFFF_FFF0)
+	if _, err := ReadFrame(bytes.NewReader(huge)); !errors.Is(err, wire.ErrTooLarge) {
+		t.Fatalf("huge length: got %v, want wire.ErrTooLarge", err)
+	}
+
+	// Length shorter than the header itself.
+	tiny := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint32(tiny[9:13], wire.HeaderSize-1)
+	if _, err := ReadFrame(bytes.NewReader(tiny)); !errors.Is(err, wire.ErrBadLength) {
+		t.Fatalf("tiny length: got %v, want wire.ErrBadLength", err)
+	}
+
+	// Zero length.
+	zero := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint32(zero[9:13], 0)
+	if _, err := ReadFrame(bytes.NewReader(zero)); !errors.Is(err, wire.ErrBadLength) {
+		t.Fatalf("zero length: got %v, want wire.ErrBadLength", err)
+	}
+}
+
+func TestFrameGarbageAfterValidEnvelope(t *testing.T) {
+	valid := frameBytes(t, wire.Envelope{RPCID: 3, Msg: &wire.DeleteReq{Table: 2, Key: []byte("gone")}})
+	stream := append(append([]byte(nil), valid...), 0xDE, 0xAD, 0xBE)
+	r := bytes.NewReader(stream)
+	env, err := ReadFrame(r)
+	if err != nil {
+		t.Fatalf("valid prefix: %v", err)
+	}
+	if env.RPCID != 3 {
+		t.Fatalf("rpc id %d, want 3", env.RPCID)
+	}
+	// The trailing garbage is shorter than a header: torn, not EOF.
+	if _, err := ReadFrame(r); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("trailing garbage: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestFrameUnknownOpcode(t *testing.T) {
+	full := frameBytes(t, wire.Envelope{RPCID: 1, Msg: &wire.PingReq{}})
+	bad := append([]byte(nil), full...)
+	bad[0] = 0xFF
+	if _, err := ReadFrame(bytes.NewReader(bad)); err == nil {
+		t.Fatal("unknown opcode decoded successfully")
+	}
+}

@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"ramcloud/internal/rpc"
+	"ramcloud/internal/sim"
+	"ramcloud/internal/simnet"
+	"ramcloud/internal/wire"
+)
+
+// Sim adapts the simulated fabric behind the Transport interface.
+// Addresses are decimal simnet.NodeIDs. Calls must run on a simulation
+// proc, carried in the context via WithProc: the adapter is a veneer
+// over rpc.Endpoint, so anything speaking the interface against the
+// sim backend produces exactly the event sequence the endpoint would —
+// the deterministic figure path is unchanged by construction.
+type Sim struct {
+	Eng *sim.Engine
+	Net *simnet.Network
+
+	// CallTimeout is the per-call deadline in simulated time (contexts
+	// carry wall-clock deadlines, which are meaningless in-sim).
+	// Default 1 simulated second.
+	CallTimeout sim.Duration
+
+	// nextNode allocates fabric addresses for dialer endpoints, placed
+	// far above any server/client node id.
+	nextNode simnet.NodeID
+}
+
+type procKey struct{}
+
+// WithProc binds the calling simulation proc into ctx for Sim conns.
+func WithProc(ctx context.Context, p *sim.Proc) context.Context {
+	return context.WithValue(ctx, procKey{}, p)
+}
+
+// ProcFrom extracts the simulation proc bound by WithProc.
+func ProcFrom(ctx context.Context) (*sim.Proc, bool) {
+	p, ok := ctx.Value(procKey{}).(*sim.Proc)
+	return p, ok
+}
+
+// dialerBase is where dialer endpoints start allocating node ids.
+const dialerBase simnet.NodeID = 1 << 20
+
+func (s *Sim) timeout() sim.Duration {
+	if s.CallTimeout > 0 {
+		return s.CallTimeout
+	}
+	return 1 * sim.Second
+}
+
+func parseNode(addr string) (simnet.NodeID, error) {
+	n, err := strconv.Atoi(addr)
+	if err != nil {
+		return 0, fmt.Errorf("transport: sim address %q is not a node id: %w", addr, err)
+	}
+	return simnet.NodeID(n), nil
+}
+
+// Dial implements Interface. Each conn gets its own fabric endpoint so
+// concurrent callers on distinct conns keep distinct NICs, mirroring
+// one socket per peer.
+func (s *Sim) Dial(addr string) (Conn, error) {
+	to, err := parseNode(addr)
+	if err != nil {
+		return nil, err
+	}
+	id := dialerBase + s.nextNode
+	s.nextNode++
+	return &simConn{s: s, ep: rpc.NewEndpoint(s.Eng, s.Net, id), to: to}, nil
+}
+
+type simConn struct {
+	s  *Sim
+	ep *rpc.Endpoint
+	to simnet.NodeID
+}
+
+// Call implements Conn. The proc must be bound with WithProc; a context
+// cancel cannot preempt a parked proc, so the per-call deadline is the
+// transport's simulated CallTimeout.
+func (c *simConn) Call(ctx context.Context, msg wire.Message) (wire.Message, error) {
+	p, ok := ProcFrom(ctx)
+	if !ok {
+		return nil, fmt.Errorf("transport: sim call without a proc in context (use transport.WithProc)")
+	}
+	resp, ok := c.ep.CallTimeout(p, c.to, msg, c.s.timeout())
+	if !ok {
+		return nil, context.DeadlineExceeded
+	}
+	return resp, nil
+}
+
+// Close implements Conn. Fabric endpoints have no teardown; late
+// responses are dropped by the endpoint itself.
+func (c *simConn) Close() error { return nil }
+
+// Listen implements Interface: it attaches an endpoint at the given
+// node id and services its inbound queue on a dedicated proc. Handlers
+// run in proc context and may not block on OS resources; they should be
+// pure request -> response functions.
+func (s *Sim) Listen(addr string, h Handler) (Listener, error) {
+	node, err := parseNode(addr)
+	if err != nil {
+		return nil, err
+	}
+	ep := rpc.NewEndpoint(s.Eng, s.Net, node)
+	s.Eng.Go("transport-listen-"+addr, func(p *sim.Proc) {
+		for {
+			req := ep.Inbound.Pop(p)
+			if req.Msg == nil {
+				return // poison pill from Close
+			}
+			resp := h.ServeRPC(strconv.Itoa(int(req.From)), req.Msg)
+			if resp != nil {
+				ep.Reply(req, resp)
+			}
+		}
+	})
+	return &simListener{addr: addr, ep: ep}, nil
+}
+
+type simListener struct {
+	addr string
+	ep   *rpc.Endpoint
+}
+
+// Addr implements Listener.
+func (l *simListener) Addr() string { return l.addr }
+
+// Close implements Listener: the service proc exits at its next
+// scheduling point via a poison pill.
+func (l *simListener) Close() error {
+	l.ep.Inbound.Push(rpc.Request{})
+	return nil
+}

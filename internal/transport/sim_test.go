@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ramcloud/internal/sim"
+	"ramcloud/internal/simnet"
+	"ramcloud/internal/wire"
+)
+
+// TestSimConformance runs the same request/response conversation the TCP
+// tests run, through the sim backend: dial by node id, out-of-order
+// completion, timeout on a silent handler. The two backends must present
+// identical semantics at the Interface seam.
+func TestSimConformance(t *testing.T) {
+	e := sim.New(1)
+	n := simnet.New(e, simnet.Config{PropagationDelay: 2 * sim.Microsecond, Bandwidth: 1e9})
+	tr := &Sim{Eng: e, Net: n, CallTimeout: 10 * sim.Millisecond}
+
+	_, err := tr.Listen("7", echoHandler())
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	// A second service that never replies, for the timeout leg.
+	if _, err := tr.Listen("8", HandlerFunc(func(string, wire.Message) wire.Message { return nil })); err != nil {
+		t.Fatalf("listen silent: %v", err)
+	}
+
+	conn, err := tr.Dial("7")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	silent, err := tr.Dial("8")
+	if err != nil {
+		t.Fatalf("dial silent: %v", err)
+	}
+
+	var echoErr, timeoutErr error
+	var echoed string
+	e.Go("caller", func(p *sim.Proc) {
+		ctx := WithProc(context.Background(), p)
+		resp, err := conn.Call(ctx, &wire.ReadReq{Table: 1, Key: []byte("sim")})
+		if err != nil {
+			echoErr = err
+			return
+		}
+		echoed = string(resp.(*wire.ReadResp).Value)
+		_, timeoutErr = silent.Call(ctx, &wire.PingReq{})
+	})
+	e.Run()
+	e.Shutdown()
+
+	if echoErr != nil {
+		t.Fatalf("echo: %v", echoErr)
+	}
+	if echoed != "sim" {
+		t.Fatalf("echo got %q", echoed)
+	}
+	if !errors.Is(timeoutErr, context.DeadlineExceeded) {
+		t.Fatalf("silent peer: got %v, want context.DeadlineExceeded", timeoutErr)
+	}
+}
+
+func TestSimCallWithoutProc(t *testing.T) {
+	e := sim.New(1)
+	n := simnet.New(e, simnet.Config{PropagationDelay: sim.Microsecond, Bandwidth: 1e9})
+	tr := &Sim{Eng: e, Net: n}
+	conn, err := tr.Dial("5")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if _, err := conn.Call(context.Background(), &wire.PingReq{}); err == nil {
+		t.Fatal("call without WithProc succeeded")
+	}
+}
+
+func TestSimBadAddress(t *testing.T) {
+	tr := &Sim{}
+	if _, err := tr.Dial("not-a-node"); err == nil {
+		t.Fatal("dial of non-numeric sim address succeeded")
+	}
+}

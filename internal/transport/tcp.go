@@ -1,0 +1,303 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ramcloud/internal/wire"
+)
+
+// TCP is the real-socket backend. The zero value is usable; the fields
+// tune connection management.
+type TCP struct {
+	// DialTimeout bounds one connection attempt. Default 2s.
+	DialTimeout time.Duration
+	// RedialBase is the pause after the first failed attempt; each
+	// consecutive failure doubles it up to RedialCap. Defaults 50ms / 2s.
+	RedialBase time.Duration
+	RedialCap  time.Duration
+}
+
+func (t *TCP) dialTimeout() time.Duration {
+	if t.DialTimeout > 0 {
+		return t.DialTimeout
+	}
+	return 2 * time.Second
+}
+
+func (t *TCP) redialBase() time.Duration {
+	if t.RedialBase > 0 {
+		return t.RedialBase
+	}
+	return 50 * time.Millisecond
+}
+
+func (t *TCP) redialCap() time.Duration {
+	if t.RedialCap > 0 {
+		return t.RedialCap
+	}
+	return 2 * time.Second
+}
+
+// Dial returns a connection to addr. The socket is established lazily
+// on the first Call and re-established transparently (with capped
+// exponential backoff) after failures, so a Conn survives a peer
+// restart.
+func (t *TCP) Dial(addr string) (Conn, error) {
+	return &tcpConn{tr: t, addr: addr, pending: make(map[uint64]chan wire.Message)}, nil
+}
+
+// tcpConn is one logical client connection: a socket that is redialed
+// as needed plus the RPC-id correlation table.
+type tcpConn struct {
+	tr   *TCP
+	addr string
+
+	mu        sync.Mutex
+	nc        net.Conn // nil while down
+	pending   map[uint64]chan wire.Message
+	nextID    uint64
+	fails     int       // consecutive failed dials, drives backoff
+	notBefore time.Time // no redial attempt before this instant
+	closed    bool
+
+	wmu sync.Mutex // serializes frame writes on nc
+}
+
+// ensure returns a live socket, dialing (with the backoff gate) if the
+// connection is down. Callers must NOT hold c.mu.
+func (c *tcpConn) ensure(ctx context.Context) (net.Conn, error) {
+	c.mu.Lock()
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if c.nc != nil {
+			nc := c.nc
+			c.mu.Unlock()
+			return nc, nil
+		}
+		if wait := time.Until(c.notBefore); wait > 0 {
+			c.mu.Unlock()
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			c.mu.Lock()
+			continue
+		}
+		// Dial under the lock: concurrent callers queue behind one
+		// attempt instead of racing several sockets. The attempt is
+		// bounded by DialTimeout.
+		nc, err := net.DialTimeout("tcp", c.addr, c.tr.dialTimeout())
+		if err != nil {
+			backoff := c.tr.redialBase() << c.fails
+			if limit := c.tr.redialCap(); backoff > limit || backoff <= 0 {
+				backoff = limit
+			}
+			if c.fails < 30 {
+				c.fails++
+			}
+			c.notBefore = time.Now().Add(backoff)
+			c.mu.Unlock()
+			return nil, fmt.Errorf("transport: dial %s: %w", c.addr, err)
+		}
+		c.fails = 0
+		c.nc = nc
+		go c.readLoop(nc)
+		c.mu.Unlock()
+		return nc, nil
+	}
+}
+
+// readLoop drains response frames from one socket generation and
+// resolves pending calls by RPC id. Any read or decode error retires
+// the socket: every call still pending on it fails with ErrConnLost,
+// and the next Call redials.
+func (c *tcpConn) readLoop(nc net.Conn) {
+	br := bufio.NewReaderSize(nc, 64<<10)
+	for {
+		env, err := ReadFrame(br)
+		if err != nil {
+			c.teardown(nc)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[env.RPCID]
+		if ok {
+			delete(c.pending, env.RPCID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- env.Msg // buffered; never blocks
+		}
+		// Unknown id: a response that outlived its caller's deadline.
+		// Dropped, exactly like the simulated endpoint does.
+	}
+}
+
+// teardown retires one socket generation, failing its pending calls.
+func (c *tcpConn) teardown(nc net.Conn) {
+	nc.Close()
+	c.mu.Lock()
+	if c.nc == nc {
+		c.nc = nil
+		c.notBefore = time.Now().Add(c.tr.redialBase())
+		for id, ch := range c.pending {
+			delete(c.pending, id)
+			close(ch)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Call implements Conn.
+func (c *tcpConn) Call(ctx context.Context, msg wire.Message) (wire.Message, error) {
+	nc, err := c.ensure(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	ch := make(chan wire.Message, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	if deadline, ok := ctx.Deadline(); ok {
+		nc.SetWriteDeadline(deadline)
+	} else {
+		nc.SetWriteDeadline(time.Time{})
+	}
+	err = WriteFrame(nc, wire.Envelope{RPCID: id, Msg: msg})
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		c.teardown(nc)
+		return nil, fmt.Errorf("%w: write: %v", ErrConnLost, err)
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, ErrConnLost
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Close implements Conn.
+func (c *tcpConn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	nc := c.nc
+	c.mu.Unlock()
+	if nc != nil {
+		c.teardown(nc)
+	}
+	return nil
+}
+
+// Listen implements Interface: it binds addr (":0" allocates a port)
+// and services each accepted connection with one reader goroutine plus
+// one goroutine per request, so slow requests do not convoy fast ones
+// and responses return out of order. A torn or hostile frame closes
+// that connection (log-and-drop); well-behaved peers redial.
+func (t *TCP) Listen(addr string, h Handler) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &tcpListener{ln: ln, h: h, conns: make(map[net.Conn]struct{})}
+	go l.acceptLoop()
+	return l, nil
+}
+
+type tcpListener struct {
+	ln net.Listener
+	h  Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// Addr implements Listener.
+func (l *tcpListener) Addr() string { return l.ln.Addr().String() }
+
+// Close implements Listener: stops accepting and severs every
+// established connection, so in-flight peers observe the failure
+// immediately (the loopback kill test depends on this).
+func (l *tcpListener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	conns := make([]net.Conn, 0, len(l.conns))
+	for nc := range l.conns {
+		conns = append(conns, nc)
+	}
+	l.mu.Unlock()
+	err := l.ln.Close()
+	for _, nc := range conns {
+		nc.Close()
+	}
+	return err
+}
+
+func (l *tcpListener) acceptLoop() {
+	for {
+		nc, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			nc.Close()
+			return
+		}
+		l.conns[nc] = struct{}{}
+		l.mu.Unlock()
+		go l.serveConn(nc)
+	}
+}
+
+func (l *tcpListener) serveConn(nc net.Conn) {
+	defer func() {
+		l.mu.Lock()
+		delete(l.conns, nc)
+		l.mu.Unlock()
+		nc.Close()
+	}()
+	remote := nc.RemoteAddr().String()
+	var wmu sync.Mutex
+	br := bufio.NewReaderSize(nc, 64<<10)
+	for {
+		env, err := ReadFrame(br)
+		if err != nil {
+			return // torn/hostile frame or peer hangup: drop the connection
+		}
+		go func(env wire.Envelope) {
+			resp := l.h.ServeRPC(remote, env.Msg)
+			if resp == nil {
+				return
+			}
+			wmu.Lock()
+			WriteFrame(nc, wire.Envelope{RPCID: env.RPCID, Msg: resp})
+			wmu.Unlock()
+		}(env)
+	}
+}

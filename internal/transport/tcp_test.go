@@ -1,0 +1,250 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ramcloud/internal/wire"
+)
+
+// echoHandler answers ReadReq with a ReadResp carrying the key back as
+// the value; everything else gets a StatusRetry ping.
+func echoHandler() Handler {
+	return HandlerFunc(func(remote string, msg wire.Message) wire.Message {
+		if r, ok := msg.(*wire.ReadReq); ok {
+			return &wire.ReadResp{Status: wire.StatusOK, Value: append([]byte(nil), r.Key...), ValueLen: uint32(len(r.Key))}
+		}
+		return &wire.PingResp{}
+	})
+}
+
+func TestTCPEcho(t *testing.T) {
+	tr := &TCP{}
+	ln, err := tr.Listen("127.0.0.1:0", echoHandler())
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+
+	conn, err := tr.Dial(ln.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		key := []byte{byte('a' + i)}
+		resp, err := conn.Call(ctx, &wire.ReadReq{Table: 1, Key: key})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		rr, ok := resp.(*wire.ReadResp)
+		if !ok || string(rr.Value) != string(key) {
+			t.Fatalf("call %d: bad echo %#v", i, resp)
+		}
+	}
+}
+
+// TestTCPOutOfOrder proves responses are correlated by RPC id, not
+// arrival order: a slow request issued first must not delay or corrupt a
+// fast one issued after it on the same connection.
+func TestTCPOutOfOrder(t *testing.T) {
+	release := make(chan struct{})
+	h := HandlerFunc(func(remote string, msg wire.Message) wire.Message {
+		r := msg.(*wire.ReadReq)
+		if string(r.Key) == "slow" {
+			<-release
+		}
+		return &wire.ReadResp{Status: wire.StatusOK, Value: append([]byte(nil), r.Key...), ValueLen: uint32(len(r.Key))}
+	})
+	tr := &TCP{}
+	ln, err := tr.Listen("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	conn, err := tr.Dial(ln.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	slowDone := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		resp, err := conn.Call(ctx, &wire.ReadReq{Table: 1, Key: []byte("slow")})
+		if err == nil {
+			if string(resp.(*wire.ReadResp).Value) != "slow" {
+				err = errors.New("slow call got wrong value")
+			}
+		}
+		slowDone <- err
+	}()
+
+	// The fast call completes while the slow one is still parked.
+	resp, err := conn.Call(ctx, &wire.ReadReq{Table: 1, Key: []byte("fast")})
+	if err != nil {
+		t.Fatalf("fast call: %v", err)
+	}
+	if string(resp.(*wire.ReadResp).Value) != "fast" {
+		t.Fatalf("fast call got %q", resp.(*wire.ReadResp).Value)
+	}
+
+	close(release)
+	wg.Wait()
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow call: %v", err)
+	}
+}
+
+func TestTCPDeadline(t *testing.T) {
+	// Handler that never replies: the caller's context deadline must fire.
+	h := HandlerFunc(func(remote string, msg wire.Message) wire.Message { return nil })
+	tr := &TCP{}
+	ln, err := tr.Listen("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	conn, err := tr.Dial(ln.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = conn.Call(ctx, &wire.PingReq{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestTCPReconnect kills the listener mid-session and restarts it on the
+// same port: the same Conn must fail fast on the dead socket, then
+// transparently redial and succeed once the service is back.
+func TestTCPReconnect(t *testing.T) {
+	tr := &TCP{RedialBase: 5 * time.Millisecond, RedialCap: 50 * time.Millisecond}
+	ln, err := tr.Listen("127.0.0.1:0", echoHandler())
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr()
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := conn.Call(ctx, &wire.ReadReq{Table: 1, Key: []byte("x")}); err != nil {
+		t.Fatalf("warm call: %v", err)
+	}
+
+	ln.Close()
+
+	// Calls while the service is down fail (conn lost or dial refused) —
+	// they must not hang.
+	failCtx, failCancel := context.WithTimeout(context.Background(), 2*time.Second)
+	_, err = conn.Call(failCtx, &wire.ReadReq{Table: 1, Key: []byte("down")})
+	failCancel()
+	if err == nil {
+		t.Fatal("call against dead listener succeeded")
+	}
+
+	ln2, err := tr.Listen(addr, echoHandler())
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", addr, err)
+	}
+	defer ln2.Close()
+
+	// The same Conn recovers without any explicit reset. Allow a few
+	// attempts for the backoff gate to expire.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := conn.Call(ctx, &wire.ReadReq{Table: 1, Key: []byte("back")})
+		if err == nil {
+			if string(resp.(*wire.ReadResp).Value) != "back" {
+				t.Fatalf("post-reconnect echo got %q", resp.(*wire.ReadResp).Value)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("conn never recovered: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestTCPClosedConn(t *testing.T) {
+	tr := &TCP{}
+	ln, err := tr.Listen("127.0.0.1:0", echoHandler())
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	conn, err := tr.Dial(ln.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	conn.Close()
+	_, err = conn.Call(context.Background(), &wire.PingReq{})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+// TestTCPConcurrentCalls hammers one Conn from many goroutines; under
+// -race this doubles as the data-race check on the correlation table.
+func TestTCPConcurrentCalls(t *testing.T) {
+	tr := &TCP{}
+	ln, err := tr.Listen("127.0.0.1:0", echoHandler())
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	conn, err := tr.Dial(ln.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := []byte{byte(g), byte(i)}
+				resp, err := conn.Call(ctx, &wire.ReadReq{Table: 1, Key: key})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(resp.(*wire.ReadResp).Value) != string(key) {
+					errs <- errors.New("cross-correlated response")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

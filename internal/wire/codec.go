@@ -88,14 +88,24 @@ func decodeObject(d *decoder) Object {
 	return o
 }
 
-// Unmarshal decodes a message produced by Marshal.
+// Unmarshal decodes a message produced by Marshal. Inputs that cannot
+// be a valid envelope are rejected with typed errors (ErrTruncated,
+// ErrTooLarge, ErrBadLength, ErrUnknownOp) before any message-body
+// decoding, so a transport facing network bytes can log-and-drop
+// without allocating for hostile frames.
 func Unmarshal(b []byte) (Envelope, error) {
+	if len(b) < headerSize {
+		return Envelope{}, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(b), headerSize)
+	}
+	if len(b) > MaxEnvelopeSize {
+		return Envelope{}, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(b))
+	}
 	d := &decoder{b: b}
 	op := Op(d.u8())
 	rpcID := d.u64()
 	total := d.u32()
-	if d.err == nil && int(total) != len(b) {
-		return Envelope{}, fmt.Errorf("wire: length field %d != buffer %d", total, len(b))
+	if int64(total) != int64(len(b)) {
+		return Envelope{}, fmt.Errorf("%w: length field %d != buffer %d", ErrBadLength, total, len(b))
 	}
 	var msg Message
 	switch op {
@@ -263,6 +273,28 @@ func Unmarshal(b []byte) (Envelope, error) {
 		msg = m
 	case OpTakeTabletResp:
 		msg = &TakeTabletResp{Status: Status(d.u8())}
+	case OpEnlistAddrReq:
+		msg = &EnlistAddrReq{Addr: d.str(), MemoryBytes: d.i64()}
+	case OpEnlistAddrResp:
+		msg = &EnlistAddrResp{Status: Status(d.u8()), ServerID: d.i32()}
+	case OpServerListReq:
+		msg = &ServerListReq{}
+	case OpServerListResp:
+		m := &ServerListResp{Status: Status(d.u8())}
+		n := d.u32()
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			m.Servers = append(m.Servers, ServerAddr{ID: d.i32(), Addr: d.str()})
+		}
+		msg = m
+	case OpAssignTabletsReq:
+		m := &AssignTabletsReq{}
+		n := d.u32()
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			m.Tablets = append(m.Tablets, decodeTablet(d))
+		}
+		msg = m
+	case OpAssignTabletsResp:
+		msg = &AssignTabletsResp{Status: Status(d.u8())}
 	default:
 		return Envelope{}, fmt.Errorf("%w: %d", ErrUnknownOp, op)
 	}

@@ -518,3 +518,65 @@ func (m *TakeTabletResp) encodeBody(e *encoder) error {
 	e.u8(uint8(m.Status))
 	return nil
 }
+
+// Real-transport control plane ----------------------------------------------
+
+func (*EnlistAddrReq) Op() Op          { return OpEnlistAddrReq }
+func (m *EnlistAddrReq) WireSize() int { return headerSize + 4 + len(m.Addr) + 8 }
+func (m *EnlistAddrReq) encodeBody(e *encoder) error {
+	e.str(m.Addr)
+	e.i64(m.MemoryBytes)
+	return nil
+}
+
+func (*EnlistAddrResp) Op() Op               { return OpEnlistAddrResp }
+func (*EnlistAddrResp) WireSize() int        { return headerSize + 1 + 4 }
+func (m *EnlistAddrResp) RespStatus() Status { return m.Status }
+func (m *EnlistAddrResp) encodeBody(e *encoder) error {
+	e.u8(uint8(m.Status))
+	e.i32(m.ServerID)
+	return nil
+}
+
+func (*ServerListReq) Op() Op                      { return OpServerListReq }
+func (*ServerListReq) WireSize() int               { return headerSize }
+func (*ServerListReq) encodeBody(e *encoder) error { return nil }
+
+func (*ServerListResp) Op() Op { return OpServerListResp }
+func (m *ServerListResp) WireSize() int {
+	body := 1 + 4
+	for i := range m.Servers {
+		body += 4 + 4 + len(m.Servers[i].Addr)
+	}
+	return headerSize + body
+}
+func (m *ServerListResp) RespStatus() Status { return m.Status }
+func (m *ServerListResp) encodeBody(e *encoder) error {
+	e.u8(uint8(m.Status))
+	e.u32(uint32(len(m.Servers)))
+	for i := range m.Servers {
+		e.i32(m.Servers[i].ID)
+		e.str(m.Servers[i].Addr)
+	}
+	return nil
+}
+
+func (*AssignTabletsReq) Op() Op { return OpAssignTabletsReq }
+func (m *AssignTabletsReq) WireSize() int {
+	return headerSize + 4 + len(m.Tablets)*tabletSize
+}
+func (m *AssignTabletsReq) encodeBody(e *encoder) error {
+	e.u32(uint32(len(m.Tablets)))
+	for i := range m.Tablets {
+		encodeTablet(e, &m.Tablets[i])
+	}
+	return nil
+}
+
+func (*AssignTabletsResp) Op() Op               { return OpAssignTabletsResp }
+func (*AssignTabletsResp) WireSize() int        { return headerSize + 1 }
+func (m *AssignTabletsResp) RespStatus() Status { return m.Status }
+func (m *AssignTabletsResp) encodeBody(e *encoder) error {
+	e.u8(uint8(m.Status))
+	return nil
+}

@@ -66,6 +66,12 @@ const (
 	OpMigrateTabletResp
 	OpTakeTabletReq
 	OpTakeTabletResp
+	OpEnlistAddrReq
+	OpEnlistAddrResp
+	OpServerListReq
+	OpServerListResp
+	OpAssignTabletsReq
+	OpAssignTabletsResp
 )
 
 // Status is the result code carried by every response.
@@ -105,6 +111,19 @@ func (s Status) String() string {
 
 // headerSize covers op (1), rpc id (8) and total length (4).
 const headerSize = 1 + 8 + 4
+
+// HeaderSize is the envelope header length: opcode (1 byte), RPC id (8)
+// and total frame length (4). The length field makes a marshaled
+// envelope self-framing, which is what the transport's frame reader
+// relies on.
+const HeaderSize = headerSize
+
+// MaxEnvelopeSize is the hard upper bound on a marshaled envelope. The
+// largest legitimate frames are recovery responses carrying one 8 MB
+// segment's objects; 64 MiB leaves generous headroom while keeping a
+// hostile length prefix from driving an arbitrary-size allocation in
+// the frame reader.
+const MaxEnvelopeSize = 64 << 20
 
 // Object is one log record crossing the wire (replication, recovery).
 type Object struct {
@@ -467,10 +486,71 @@ type TakeTabletResp struct {
 	Status Status
 }
 
+// Real-transport control plane ----------------------------------------------
+//
+// The simulated fabric addresses nodes by integer NodeID, which doubles
+// as the server id. A real cluster needs one more indirection: servers
+// enlist with a dialable address, clients resolve master ids to
+// addresses, and the coordinator pushes tablet ownership over the wire
+// instead of through in-process registry calls. These messages exist
+// only for that path; nothing on the simulated fabric sends them, so
+// every pre-existing rendering is untouched.
+
+// ServerAddr binds a cluster server id to its dialable address.
+type ServerAddr struct {
+	ID   int32
+	Addr string
+}
+
+// EnlistAddrReq registers a server with the coordinator by its listen
+// address. The coordinator assigns the server id (re-enlisting with a
+// known address keeps the old id).
+type EnlistAddrReq struct {
+	Addr        string
+	MemoryBytes int64
+}
+
+// EnlistAddrResp returns the assigned server id.
+type EnlistAddrResp struct {
+	Status   Status
+	ServerID int32
+}
+
+// ServerListReq fetches the id-to-address map of alive servers.
+type ServerListReq struct{}
+
+// ServerListResp lists alive servers in ascending id order.
+type ServerListResp struct {
+	Status  Status
+	Servers []ServerAddr
+}
+
+// AssignTabletsReq replaces the receiving server's tablet ownership set
+// with exactly the tablets carried. Replace semantics keep the push
+// idempotent: re-delivery after a retry cannot double-assign.
+type AssignTabletsReq struct {
+	Tablets []Tablet
+}
+
+// AssignTabletsResp acknowledges an ownership update.
+type AssignTabletsResp struct {
+	Status Status
+}
+
 // Codec ----------------------------------------------------------------------
 
 // ErrTruncated reports a message shorter than its encoding requires.
 var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrTooLarge reports a frame whose declared length exceeds
+// MaxEnvelopeSize. A transport must reject the frame before allocating
+// for it: the length prefix is attacker-controlled bytes.
+var ErrTooLarge = errors.New("wire: envelope exceeds MaxEnvelopeSize")
+
+// ErrBadLength reports a length field that disagrees with the bytes
+// actually presented (truncated tail, garbage after a valid envelope,
+// or a length smaller than the fixed header).
+var ErrBadLength = errors.New("wire: length field mismatch")
 
 // ErrUnknownOp reports an unrecognized opcode.
 var ErrUnknownOp = errors.New("wire: unknown opcode")

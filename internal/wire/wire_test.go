@@ -71,6 +71,13 @@ func allMessages() []Message {
 		&MigrateTabletResp{Status: StatusOK, Moved: 321},
 		&TakeTabletReq{Table: 1, FirstHash: 100, LastHash: 200, Objects: []Object{obj, tomb}},
 		&TakeTabletResp{Status: StatusOK},
+		&EnlistAddrReq{Addr: "127.0.0.1:7071", MemoryBytes: 10 << 30},
+		&EnlistAddrResp{Status: StatusOK, ServerID: 3},
+		&ServerListReq{},
+		&ServerListResp{Status: StatusOK, Servers: []ServerAddr{
+			{ID: 1, Addr: "127.0.0.1:7071"}, {ID: 2, Addr: "127.0.0.1:7072"}}},
+		&AssignTabletsReq{Tablets: []Tablet{tab, {Table: 2, Master: 1}}},
+		&AssignTabletsResp{Status: StatusOK},
 	}
 }
 
@@ -129,7 +136,7 @@ func TestOpCoversAllMessages(t *testing.T) {
 		}
 		seen[op] = true
 	}
-	for op := OpReadReq; op <= OpTakeTabletResp; op++ {
+	for op := OpReadReq; op <= OpAssignTabletsResp; op++ {
 		if !seen[op] {
 			t.Errorf("opcode %d has no representative in allMessages", op)
 		}

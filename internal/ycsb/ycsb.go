@@ -142,6 +142,21 @@ func (w Workload) chooser() chooser {
 	}
 }
 
+// Chooser picks record indices from the workload's key distribution. It
+// is the exported face of the internal chooser so drivers outside this
+// package — the real-transport YCSB mode — draw keys from exactly the
+// distribution the simulated runs use.
+type Chooser interface {
+	Next(rng *rand.Rand) int
+}
+
+type chooserAdapter struct{ c chooser }
+
+func (a chooserAdapter) Next(rng *rand.Rand) int { return a.c.next(rng) }
+
+// NewChooser returns the workload's key chooser.
+func (w Workload) NewChooser() Chooser { return chooserAdapter{w.chooser()} }
+
 // NextOp draws the next operation kind from the workload mix.
 func (w Workload) NextOp(rng *rand.Rand) OpKind {
 	r := rng.Float64()

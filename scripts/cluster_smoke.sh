@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — boot a real localhost cluster (rccoord + 3 rcserver)
+# and drive a YCSB-A mix through rcclient over TCP. Fails on any nonzero
+# exit or any protocol error reported by the client ([OVERALL], Errors
+# line). This is the real-transport counterpart of the deterministic
+# rendering gates: it proves the wire protocol, framing, correlation and
+# routing work between separate OS processes, not just in-process.
+#
+# Usage: scripts/cluster_smoke.sh [ops] [records] [clients]
+set -euo pipefail
+
+OPS=${1:-100000}
+RECORDS=${2:-5000}
+CLIENTS=${3:-8}
+COORD=127.0.0.1:7070
+BIN=$(mktemp -d)
+LOGS=$(mktemp -d)
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$BIN/rccoord" ./cmd/rccoord
+go build -o "$BIN/rcserver" ./cmd/rcserver
+go build -o "$BIN/rcclient" ./cmd/rcclient
+
+echo "== starting coordinator on $COORD"
+"$BIN/rccoord" -listen "$COORD" >"$LOGS/coord.log" 2>&1 &
+PIDS+=($!)
+
+for i in 1 2 3; do
+  echo "== starting server $i"
+  "$BIN/rcserver" -coord "$COORD" -listen 127.0.0.1:0 >"$LOGS/server$i.log" 2>&1 &
+  PIDS+=($!)
+done
+
+# The servers retry enlistment with backoff, so boot order is forgiving;
+# give the cluster a moment to assemble.
+sleep 1
+
+echo "== one-shot put/get sanity"
+"$BIN/rcclient" -coord "$COORD" put smoketest hello-cluster
+GOT=$("$BIN/rcclient" -coord "$COORD" get smoketest)
+echo "   got: $GOT"
+case "$GOT" in
+  hello-cluster*) ;;
+  *) echo "::error::read-your-write failed: $GOT"; exit 1 ;;
+esac
+
+echo "== YCSB workload A: $OPS ops over $RECORDS records, $CLIENTS workers"
+OUT=$("$BIN/rcclient" -coord "$COORD" -workload a -records "$RECORDS" \
+  -ops "$OPS" -clients "$CLIENTS" -size 100 -load ycsb)
+echo "$OUT"
+
+ERRORS=$(echo "$OUT" | awk -F', ' '/\[OVERALL\], Errors/ {print $3}')
+DONE=$(echo "$OUT" | awk -F', ' '/\[OVERALL\], Operations/ {print $3}')
+if [ "${ERRORS:-1}" != "0" ]; then
+  echo "::error::cluster smoke: $ERRORS protocol errors"
+  for f in "$LOGS"/*.log; do echo "--- $f"; cat "$f"; done
+  exit 1
+fi
+if [ "${DONE:-0}" != "$OPS" ]; then
+  echo "::error::cluster smoke: completed $DONE of $OPS ops"
+  exit 1
+fi
+echo "== OK: $DONE ops, 0 errors"
