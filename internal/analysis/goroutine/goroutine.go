@@ -37,7 +37,13 @@ func run(pass *framework.Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
-		if scope.TestFile(pass.Fset.Position(f.Pos()).Filename) {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if scope.TestFile(filename) {
+			continue
+		}
+		// The sharded driver's lane workers are the one sanctioned use of
+		// OS goroutines inside the simulator (see scope.LaneScheduler).
+		if scope.LaneScheduler(pass.Pkg.Path(), filename) {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -5,7 +5,10 @@
 // by design and are out of scope, as is the analysis tooling itself.
 package scope
 
-import "strings"
+import (
+	"path"
+	"strings"
+)
 
 const internalPrefix = "ramcloud/internal/"
 
@@ -63,4 +66,22 @@ func SingleThreaded(pkgPath string) bool {
 // and may measure wall clock, so the behavioural analyzers skip them.
 func TestFile(filename string) bool {
 	return strings.HasSuffix(filename, "_test.go")
+}
+
+// LaneScheduler reports whether filename is the sharded engine's driver
+// file, the one place in the simulation tree where bare go statements are
+// the mechanism rather than a bug: its persistent lane workers ARE the
+// parallel scheduler, synchronized by the window barrier so that no
+// simulated state is ever observed across lanes mid-window. Scoping the
+// exemption to exactly sim/sharded.go keeps it auditable here instead of
+// spraying //rcvet:allow across every worker loop, and keeps the rest of
+// sim (and every protocol package) under the bare-go ban.
+func LaneScheduler(pkgPath, filename string) bool {
+	return pkgPath == internalPrefix+"sim" && path.Base(filepathToSlash(filename)) == "sharded.go"
+}
+
+// filepathToSlash normalizes OS path separators so LaneScheduler can use
+// path.Base portably.
+func filepathToSlash(filename string) string {
+	return strings.ReplaceAll(filename, "\\", "/")
 }

@@ -135,6 +135,9 @@ func Run(s Scenario) *Result {
 	if s.Profile.Machine.Cores == 0 {
 		s.Profile = DefaultProfile()
 	}
+	if lanes := effectiveLanes(&s); lanes > 1 {
+		return runSharded(s, lanes)
+	}
 	eng := sim.New(s.Seed)
 	cl := NewCluster(eng, s.Profile, s.Servers, s.RF)
 	cl.Start()
@@ -159,7 +162,6 @@ func Run(s Scenario) *Result {
 
 	res := &Result{Scenario: s.Name}
 	wg := sim.NewWaitGroup(eng)
-	var startSec, endSec int
 	var workStart, workEnd sim.Time
 
 	// Clients: one proc per client, numbered globally across groups so
@@ -257,11 +259,21 @@ func Run(s Scenario) *Result {
 		node.FlushAccounting(finalNow)
 	}
 
+	collectResults(s, cl, res, groups, groupOf, totalClients, workStart, workEnd, finalNow)
+	return res
+}
+
+// collectResults computes every measurement from the finished cluster into
+// res. It is shared verbatim by the serial and sharded run paths: both end
+// with the same cluster state, work window and final clock, so the
+// aggregation (and therefore the rendered output) cannot depend on which
+// path executed the events.
+func collectResults(s Scenario, cl *Cluster, res *Result, groups []ClientGroup, groupOf []int, totalClients int, workStart, workEnd, finalNow sim.Time) {
 	// Measurement window: whole seconds covered by the workload (power
 	// and CPU means are computed there, so an idle tail does not dilute
 	// them). Series cover the entire run, recovery included.
-	startSec = 0
-	endSec = int(int64(workEnd) / int64(sim.Second))
+	startSec := 0
+	endSec := int(int64(workEnd) / int64(sim.Second))
 	if endSec < 1 {
 		endSec = 1
 	}
@@ -354,7 +366,6 @@ func Run(s Scenario) *Result {
 	// Composable-scenario breakdowns: per-group and per-phase slices.
 	res.Groups = buildGroupResults(cl, groups, groupOf, seriesEnd)
 	res.Phases = buildPhaseResults(s, cl, seriesEnd)
-	return res
 }
 
 func itoa(i int) string {

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"ramcloud/internal/sim"
+	"ramcloud/internal/ycsb"
+)
+
+// laneStatsEnabled gates a per-run window-shape report on stderr
+// (RC_LANE_STATS=1), used when tuning lane counts: the mean active-lane
+// count is the ceiling on parallel speedup. Stderr only — stdout must
+// stay byte-identical across lane counts.
+var laneStatsEnabled = sync.OnceValue(func() bool {
+	return os.Getenv("RC_LANE_STATS") != ""
+})
+
+// This file is the intra-scenario parallel execution path: one scenario's
+// event work spread over N lanes of a sim.Sharded engine (the -lanes
+// flag), with the conservative lookahead set to the fabric's propagation
+// delay. The contract is strict: an eligible scenario must render
+// byte-identically at any lane count, so the path mirrors the serial
+// Run's timeline exactly — same bring-up, same client proc names and
+// sleeps, same one-second settle before the stop — and hands the finished
+// cluster to the same collectResults.
+
+// effectiveLanes returns the lane count a scenario may use: the
+// process-wide -lanes setting when the scenario is parallel-eligible,
+// else 1. Eligibility is intentionally narrow — every feature that runs
+// zero-latency cross-node logic outside the fabric stays on the proven
+// serial path:
+//
+//   - RF > 0: replication draws backup choices from the engine RNG; lanes
+//     have partitioned RNG streams, so the draws would differ.
+//   - Faults/KillAfter: the fault arm schedules engine-level callbacks
+//     that mutate remote nodes at zero latency.
+//   - Deadline, IdleSeconds: controller timelines that interleave with
+//     recovery polling.
+//   - No clients: idle runs measure the whole tail; the endgame below is
+//     keyed off client completion.
+func effectiveLanes(s *Scenario) int {
+	lanes := Lanes()
+	if lanes <= 1 {
+		return 1
+	}
+	if s.RF != 0 || s.KillAfter != 0 || len(s.Faults) != 0 ||
+		s.IdleSeconds != 0 || s.Deadline != 0 {
+		return 1
+	}
+	total := 0
+	for _, g := range s.groups() {
+		total += g.Clients
+	}
+	if total == 0 {
+		return 1
+	}
+	if s.Profile.Net.PropagationDelay <= 0 {
+		return 1 // no lookahead margin to exploit
+	}
+	return lanes
+}
+
+// completionTracker is the cross-lane analogue of the serial controller's
+// WaitGroup: clients on any lane report completion, and the last one
+// observes the maximum completion time. Max is commutative, so the value
+// is independent of which lane's client happens to report last.
+type completionTracker struct {
+	mu        sync.Mutex
+	left      int
+	maxDoneAt sim.Time
+	onLast    func(last sim.Time)
+}
+
+func (t *completionTracker) done(at sim.Time) {
+	t.mu.Lock()
+	if at > t.maxDoneAt {
+		t.maxDoneAt = at
+	}
+	t.left--
+	last := t.left == 0
+	max := t.maxDoneAt
+	t.mu.Unlock()
+	if last {
+		t.onLast(max)
+	}
+}
+
+// runSharded executes an eligible scenario on lanes event lanes. The
+// serial controller proc is replaced by an exclusive endgame event one
+// second after the last client completes — the same instant the serial
+// controller's post-wait Sleep(Second) lands its finish.
+func runSharded(s Scenario, lanes int) *Result {
+	sh := sim.NewSharded(s.Seed, lanes, s.Profile.Net.PropagationDelay)
+	cl := NewShardedCluster(sh, s.Profile, s.Servers, s.RF)
+	cl.Start()
+
+	groups := s.groups()
+	totalClients := 0
+	for _, g := range groups {
+		totalClients += g.Clients
+	}
+
+	table := cl.CreateTable("usertable")
+	loadRecords, loadSize := 0, 0
+	for _, g := range groups {
+		if g.Workload.RecordCount > loadRecords {
+			loadRecords, loadSize = g.Workload.RecordCount, g.Workload.RecordSize
+		}
+	}
+	if loadRecords > 0 {
+		cl.BulkLoad(table, loadRecords, loadSize)
+	}
+
+	res := &Result{Scenario: s.Name}
+	var workStart, workEnd sim.Time
+
+	tracker := &completionTracker{left: totalClients}
+	tracker.onLast = func(last sim.Time) {
+		// Runs on the lane of whichever client reported last, mid-window.
+		// The endgame instant is a full second out — far beyond the window
+		// end (windows are one propagation delay wide) — so registering it
+		// from lane context is safe under the lookahead contract.
+		sh.ScheduleExclusiveAt(last.Add(sim.Second), func() {
+			workEnd = last
+			cl.StopMetering()
+			sh.Stop()
+		})
+	}
+
+	groupOf := make([]int, 0, totalClients)
+	idx := 0
+	for gi, g := range groups {
+		for j := 0; j < g.Clients; j++ {
+			i := idx
+			idx++
+			groupOf = append(groupOf, gi)
+			c := cl.NewClient()
+			opts := s.runOptionsFor(g, table, i)
+			wl, start := g.Workload, g.Start
+			// The proc runs on its client's home lane; name and sleep
+			// pattern match the serial path so a 1-lane sharded run spawns
+			// the exact legacy sequence.
+			cl.clientEngine(i).Go("client-"+itoa(i), func(p *sim.Proc) {
+				defer func() { tracker.done(p.Now()) }()
+				p.Sleep(sim.Millisecond) // allow bring-up to settle
+				if start > 0 {
+					p.Sleep(start)
+				}
+				ycsb.RunClient(p, c, wl, opts)
+			})
+		}
+	}
+
+	sh.Run()
+	finalNow := sh.Now()
+	if laneStatsEnabled() {
+		w, solo, mean, excl := sh.WindowStats()
+		fmt.Fprintf(os.Stderr, "lanestats %s: lanes=%d windows=%d solo=%d meanActive=%.2f excl=%d events=%d\n",
+			s.Name, lanes, w, solo, mean, excl, sh.EventsRun())
+	}
+	sh.Shutdown()
+	for _, node := range cl.Nodes {
+		node.FlushAccounting(finalNow)
+	}
+
+	collectResults(s, cl, res, groups, groupOf, totalClients, workStart, workEnd, finalNow)
+	return res
+}

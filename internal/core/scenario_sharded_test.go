@@ -1,0 +1,95 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"ramcloud/internal/sim"
+	"ramcloud/internal/ycsb"
+)
+
+// forceParallelLanes raises GOMAXPROCS so the sharded engine picks the
+// worker barrier even on a single-core host, then pins the process-wide
+// lane count. The -race CI job leans on this test: it is the only place
+// the full cluster stack (fabric, servers, metering tick, endgame) runs
+// across genuinely parallel lane goroutines.
+func forceParallelLanes(t testing.TB, lanes int) {
+	prevProcs := runtime.GOMAXPROCS(4)
+	prevLanes := SetLanes(lanes)
+	t.Cleanup(func() {
+		SetLanes(prevLanes)
+		runtime.GOMAXPROCS(prevProcs)
+	})
+}
+
+// TestShardedSixteenServerLaneInvariance is the tentpole's acceptance
+// test at unit scale: a 16-server, 32-client scenario must produce a
+// deeply equal Result on the serial engine and on 8 parallel lanes.
+// Equality is over the whole Result — series, histograms, per-group
+// breakdowns — not just headline scalars, so any lane-dependent
+// reordering that survives the keyed merge shows up here.
+func TestShardedSixteenServerLaneInvariance(t *testing.T) {
+	s := Scenario{
+		Name:              "sharded-16s",
+		Servers:           16,
+		Clients:           32,
+		Workload:          ycsb.WorkloadB(2_000, 1024),
+		RequestsPerClient: 200,
+		Seed:              42,
+	}
+	prev := SetLanes(1)
+	defer SetLanes(prev)
+	serial := Run(s)
+
+	forceParallelLanes(t, 8)
+	sharded := Run(s)
+
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Fatalf("16-server run differs between -lanes 1 and -lanes 8:\nserial:  %+v\nsharded: %+v", serial, sharded)
+	}
+	if serial.TotalOps != 32*200 {
+		t.Fatalf("degenerate run: %d ops", serial.TotalOps)
+	}
+}
+
+// TestEffectiveLanesGate pins the eligibility rules: every feature that
+// runs zero-latency cross-node logic outside the fabric must force the
+// serial path no matter what -lanes asks for.
+func TestEffectiveLanesGate(t *testing.T) {
+	prev := SetLanes(8)
+	defer SetLanes(prev)
+	base := Scenario{
+		Servers:           4,
+		Clients:           4,
+		Workload:          ycsb.WorkloadC(1_000, 1024),
+		RequestsPerClient: 10,
+		Profile:           DefaultProfile(),
+	}
+	if got := effectiveLanes(&base); got != 8 {
+		t.Fatalf("eligible scenario got %d lanes, want 8", got)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+	}{
+		{"replication", func(s *Scenario) { s.RF = 3 }},
+		{"kill", func(s *Scenario) { s.KillAfter = sim.Second }},
+		{"faults", func(s *Scenario) { s.Faults = []FaultEvent{{At: sim.Second, Kind: FaultKill}} }},
+		{"idle", func(s *Scenario) { s.IdleSeconds = 5 }},
+		{"deadline", func(s *Scenario) { s.Deadline = sim.Second }},
+		{"no clients", func(s *Scenario) { s.Clients = 0 }},
+		{"no propagation delay", func(s *Scenario) { s.Profile.Net.PropagationDelay = 0 }},
+	}
+	for _, c := range cases {
+		s := base
+		c.mut(&s)
+		if got := effectiveLanes(&s); got != 1 {
+			t.Fatalf("%s: got %d lanes, want serial fallback", c.name, got)
+		}
+	}
+	SetLanes(1)
+	if got := effectiveLanes(&base); got != 1 {
+		t.Fatalf("-lanes 1 got %d lanes", got)
+	}
+}

@@ -1,0 +1,476 @@
+// Sharded is a conservative parallel discrete-event driver: N lane
+// engines advance together through lookahead-bounded windows.
+//
+// The correctness argument has three legs:
+//
+//  1. Window safety. Let G be the earliest pending event time across all
+//     lanes. Every event a lane executes in the window [G, G+lookahead)
+//     can only influence another lane through a cross-lane send, and the
+//     fabric guarantees any such send lands at least `lookahead` (the
+//     simnet propagation delay) after the sender's clock — hence at or
+//     beyond the window end. So lanes may run the whole window in
+//     parallel without ever missing a causal dependency.
+//  2. Merge determinism. Sequence numbers are partitioned: lane i of n
+//     draws i+n, i+2n, ... so every (t, seq) pair is globally unique and
+//     cross-lane events carry a sender-assigned (t, seq). A binary heap
+//     ordered by (t, seq) pops in the same order regardless of push
+//     order, so mailbox arrival order — the only scheduling-dependent
+//     quantity in the system — cannot reach execution order.
+//  3. Exclusive instants. Work that reads or writes across lanes at zero
+//     latency (the 1 Hz metering tick, run termination) registers as an
+//     exclusive event: the driver advances every lane clock to that
+//     instant and runs it alone, before any lane event at the same
+//     timestamp, while all lane goroutines are parked at the barrier.
+//
+// A 1-lane Sharded run allocates the identical sequence numbers and
+// executes the identical event order as a standalone Engine.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded owns N lane engines and the barrier that synchronizes them.
+type Sharded struct {
+	lanes     []*Engine
+	lookahead Duration
+	now       Time
+	stopped   bool
+
+	// Exclusive events, a 4-ary min-heap by (t, seq) with its own
+	// sequence space (exclusives never merge into lane queues, so no
+	// partition conflict). exclMu guards it because a lane may register
+	// the run-termination event from inside a window.
+	exclMu  sync.Mutex
+	exclLen atomic.Int32 // mirrors len(excl): lock-free empty check per window
+	excl    []exclEvent
+	exclSeq uint64
+
+	// Per-lane persistent workers. start carries the window end; wg is
+	// the window barrier.
+	start []chan Time
+	wg    sync.WaitGroup
+
+	// Panic values captured from lane workers, by lane index. The driver
+	// re-raises the lowest-lane panic after the barrier so a broken run
+	// fails deterministically.
+	panicMu  sync.Mutex
+	panicked []any
+
+	// inlineOnly short-circuits worker dispatch: with a single OS core a
+	// goroutine barrier buys no overlap, so the driver runs every active
+	// lane sequentially itself. Lanes never interact inside a window, so
+	// the execution (and all output) is identical either way — only the
+	// wall-clock overlap differs.
+	inlineOnly bool
+
+	// scratch for the per-window active-lane set.
+	active []int
+
+	// Window-shape counters (read after Run for diagnostics/benchmarks).
+	windows     uint64 // parallel windows dispatched
+	soloWindows uint64 // windows with exactly one active lane (barrier-free)
+	activeSum   uint64 // sum of active-lane counts across windows
+	exclRuns    uint64 // exclusive instants executed
+}
+
+// exclEvent is one registered exclusive (cross-lane, zero-latency) event.
+type exclEvent struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+func exclLess(a, b *exclEvent) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// NewSharded builds n lane engines sharing one virtual clock, with
+// cross-lane causality bounded below by lookahead. Lane 0's RNG is seeded
+// exactly like New(seed) so a 1-lane sharded run is indistinguishable
+// from a standalone engine; other lanes get independent streams derived
+// from the seed.
+func NewSharded(seed int64, n int, lookahead Duration) *Sharded {
+	if n < 1 {
+		panic("sim: sharded engine needs at least one lane")
+	}
+	if lookahead <= 0 {
+		panic("sim: lookahead must be positive")
+	}
+	s := &Sharded{
+		lookahead:  lookahead,
+		panicked:   make([]any, n),
+		inlineOnly: runtime.GOMAXPROCS(0) == 1,
+	}
+	for i := 0; i < n; i++ {
+		laneSeed := seed
+		if i > 0 {
+			laneSeed = seed ^ int64(uint64(i)*0x9E3779B97F4A7C15)
+		}
+		l := New(laneSeed)
+		l.laneID = i
+		l.seq = uint64(i)
+		l.seqStep = uint64(n)
+		s.lanes = append(s.lanes, l)
+	}
+	s.startWorkers()
+	return s
+}
+
+// startWorkers spawns one persistent goroutine per lane beyond the first.
+// Lane 0 always runs inline on the driver goroutine: in the common case
+// where a window has exactly one active lane, the driver runs it directly
+// and the barrier costs nothing.
+func (s *Sharded) startWorkers() {
+	s.start = make([]chan Time, len(s.lanes))
+	for i := 1; i < len(s.lanes); i++ {
+		i := i
+		ch := make(chan Time)
+		s.start[i] = ch
+		// The worker goroutines ARE the parallel scheduler: each one runs
+		// its lane's cooperative event loop for exactly one window, then
+		// parks on the barrier until the driver hands it the next window.
+		// Between windows no worker is runnable, so cross-lane reads in
+		// exclusive events and the driver's own bookkeeping are race-free.
+		go func() {
+			for end := range ch {
+				s.runLane(i, end)
+				s.wg.Done()
+			}
+		}()
+	}
+}
+
+// runLane executes one lane's window, capturing a panic for deterministic
+// re-raise on the driver.
+func (s *Sharded) runLane(i int, end Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicMu.Lock()
+			s.panicked[i] = r
+			s.panicMu.Unlock()
+		}
+	}()
+	s.lanes[i].runWindow(end)
+}
+
+// Lanes returns the number of lanes.
+func (s *Sharded) Lanes() int { return len(s.lanes) }
+
+// Lane returns lane i's engine. Components are constructed against their
+// home lane; everything a component touches mid-run must live on that
+// lane or be reached through the fabric.
+func (s *Sharded) Lane(i int) *Engine { return s.lanes[i] }
+
+// Lookahead returns the conservative window width.
+func (s *Sharded) Lookahead() Duration { return s.lookahead }
+
+// Now returns the global virtual clock: the end of the last completed
+// window, or the exclusive instant being executed.
+func (s *Sharded) Now() Time { return s.now }
+
+// Stopped reports whether Stop has been called.
+func (s *Sharded) Stopped() bool { return s.stopped }
+
+// EventsRun sums executed events across lanes.
+func (s *Sharded) EventsRun() uint64 {
+	var n uint64
+	for _, l := range s.lanes {
+		n += l.eventsRun
+	}
+	return n
+}
+
+// LiveProcs sums unfinished procs across lanes.
+func (s *Sharded) LiveProcs() int {
+	n := 0
+	for _, l := range s.lanes {
+		n += len(l.procs)
+	}
+	return n
+}
+
+// WindowStats reports the run's window shape: total parallel windows,
+// how many had a single active lane (and so ran barrier-free on the
+// driver), the mean active-lane count, and the number of exclusive
+// instants. The mean active count bounds the achievable speedup: windows
+// are as parallel as the event density within one lookahead allows.
+func (s *Sharded) WindowStats() (windows, solo uint64, meanActive float64, excl uint64) {
+	windows, solo, excl = s.windows, s.soloWindows, s.exclRuns
+	if s.windows > 0 {
+		meanActive = float64(s.activeSum) / float64(s.windows)
+	}
+	return
+}
+
+// ScheduleExclusiveAt registers fn to run at time t with every lane
+// parked and advanced to t. Exclusive events at an instant run before any
+// lane event at the same timestamp, in registration order. Callable from
+// outside the run (setup), from exclusive context (ticker rearm), and
+// from inside a lane window (run termination) — t must not precede the
+// current window's end in that last case, which the lookahead contract
+// provides for anything at least one second out.
+func (s *Sharded) ScheduleExclusiveAt(t Time, fn func()) {
+	s.exclMu.Lock()
+	s.exclSeq++
+	ev := exclEvent{t: t, seq: s.exclSeq, fn: fn}
+	h := append(s.excl, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !exclLess(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	s.excl = h
+	s.exclLen.Store(int32(len(h)))
+	s.exclMu.Unlock()
+}
+
+// ScheduleExclusive registers fn to run d after the global clock.
+func (s *Sharded) ScheduleExclusive(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.ScheduleExclusiveAt(s.now.Add(d), fn)
+}
+
+// peekExcl returns the earliest exclusive time.
+func (s *Sharded) peekExcl() (Time, bool) {
+	if s.exclLen.Load() == 0 {
+		return 0, false
+	}
+	s.exclMu.Lock()
+	defer s.exclMu.Unlock()
+	if len(s.excl) == 0 {
+		return 0, false
+	}
+	return s.excl[0].t, true
+}
+
+// popExclAt removes and returns the earliest exclusive event if it is at
+// time t.
+func (s *Sharded) popExclAt(t Time) (exclEvent, bool) {
+	s.exclMu.Lock()
+	defer s.exclMu.Unlock()
+	if len(s.excl) == 0 || s.excl[0].t != t {
+		return exclEvent{}, false
+	}
+	h := s.excl
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = exclEvent{}
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if exclLess(&h[j], &h[m]) {
+					m = j
+				}
+			}
+			if !exclLess(&h[m], &last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	s.excl = h
+	s.exclLen.Store(int32(len(h)))
+	return top, true
+}
+
+// Stop halts the run after the current exclusive event or window. Lane
+// engines are stopped too so a mid-window Stop (only possible from
+// exclusive context, where no lane is running) leaves their queues
+// intact but dead.
+func (s *Sharded) Stop() {
+	s.stopped = true
+	for _, l := range s.lanes {
+		l.stopped = true
+	}
+}
+
+// Run drives all lanes until every queue is empty or Stop is called.
+//
+// Each iteration: merge mailboxes (lanes are parked, the lock is for the
+// memory fence), find the global minimum event time G and the earliest
+// exclusive time E. If E <= G the exclusive instant runs alone on the
+// driver; otherwise every lane with work before min(G+lookahead, E) runs
+// that window in parallel and idle lanes have their clocks advanced.
+func (s *Sharded) Run() {
+	for !s.stopped {
+		for _, l := range s.lanes {
+			l.drainMailbox()
+		}
+		haveG := false
+		var g Time
+		for _, l := range s.lanes {
+			if t, ok := l.peekTime(); ok && (!haveG || t < g) {
+				g, haveG = t, true
+			}
+		}
+		e, haveE := s.peekExcl()
+		if !haveG && !haveE {
+			return
+		}
+		if haveE && (!haveG || e <= g) {
+			s.runExclusive(e)
+			continue
+		}
+		end := g.Add(s.lookahead)
+		if haveE && e < end {
+			end = e
+		}
+		s.runWindow(end)
+	}
+}
+
+// runExclusive advances every lane to t and executes all exclusive events
+// at that instant, in (t, seq) order, on the driver goroutine.
+func (s *Sharded) runExclusive(t Time) {
+	s.now = t
+	for _, l := range s.lanes {
+		if l.now < t {
+			l.now = t
+		}
+	}
+	for !s.stopped {
+		ev, ok := s.popExclAt(t)
+		if !ok {
+			return
+		}
+		s.exclRuns++
+		ev.fn()
+	}
+}
+
+// runWindow dispatches one parallel window ending at end.
+func (s *Sharded) runWindow(end Time) {
+	s.active = s.active[:0]
+	for i, l := range s.lanes {
+		if t, ok := l.peekTime(); ok && t < end {
+			s.active = append(s.active, i)
+		} else if l.now < end {
+			l.now = end
+		}
+	}
+	s.windows++
+	s.activeSum += uint64(len(s.active))
+	if len(s.active) == 1 {
+		s.soloWindows++
+	}
+	switch {
+	case len(s.active) == 0:
+	case len(s.active) == 1 || s.inlineOnly:
+		// Barrier-free path: a single active lane (the dominant case when
+		// activity is concentrated — bring-up, drain, small scenarios), or
+		// a single-core host where overlap is impossible anyway. The
+		// driver runs the lanes itself; lanes never interact inside a
+		// window, so inter-lane execution order is unobservable.
+		for _, i := range s.active {
+			s.runLane(i, end)
+		}
+	default:
+		// Parallel dispatch: lane 0 (which has no worker) runs inline on
+		// the driver if active, otherwise the first active lane does.
+		inline := s.active[0]
+		for _, i := range s.active {
+			if i == 0 {
+				inline = 0
+				break
+			}
+		}
+		s.wg.Add(len(s.active) - 1)
+		for _, i := range s.active {
+			if i != inline {
+				s.start[i] <- end
+			}
+		}
+		s.runLane(inline, end)
+		s.wg.Wait()
+	}
+	s.checkPanics()
+	s.now = end
+}
+
+// checkPanics re-raises the lowest-lane captured panic.
+func (s *Sharded) checkPanics() {
+	for i, p := range s.panicked {
+		if p != nil {
+			s.panicked[i] = nil
+			panic(fmt.Sprintf("sim: lane %d: %v", i, p))
+		}
+	}
+}
+
+// Shutdown stops the workers and reaps every lane's parked procs. Must be
+// called from outside engine context after Run returns; the Sharded must
+// not be reused.
+func (s *Sharded) Shutdown() {
+	s.stopped = true
+	for _, ch := range s.start {
+		if ch != nil {
+			close(ch)
+		}
+	}
+	for _, l := range s.lanes {
+		l.Shutdown()
+	}
+}
+
+// ExclusiveTicker is the cross-lane analogue of Ticker: its callback runs
+// at exclusive instants, so it may read and write state on any lane (the
+// cluster's 1 Hz metering tick reads every node).
+type ExclusiveTicker struct {
+	sh      *Sharded
+	period  Duration
+	fn      func(now Time)
+	stopped bool
+}
+
+// NewExclusiveTicker starts an exclusive ticker with the first tick one
+// period from the global clock.
+func (s *Sharded) NewExclusiveTicker(period Duration, fn func(now Time)) *ExclusiveTicker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &ExclusiveTicker{sh: s, period: period, fn: fn}
+	t.arm(s.now.Add(period))
+	return t
+}
+
+func (t *ExclusiveTicker) arm(at Time) {
+	t.sh.ScheduleExclusiveAt(at, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(at)
+		if !t.stopped {
+			t.arm(at.Add(t.period))
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *ExclusiveTicker) Stop() { t.stopped = true }

@@ -1,0 +1,359 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// forceParallelDispatch raises GOMAXPROCS so NewSharded picks the worker
+// barrier even on a single-core host (where it would otherwise run every
+// lane inline on the driver). The race-detector tests depend on this:
+// only the barrier path exercises cross-goroutine synchronization.
+func forceParallelDispatch(t testing.TB) {
+	prev := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// shardedWorkload drives one lane's little state machine: a proc that
+// sleeps pseudo-random (seeded, deterministic) intervals and stamps a
+// trace, plus timers and zero-delay callbacks to exercise all three
+// queues.
+func shardedWorkload(e *Engine, id int, trace *[]string) {
+	e.Go(fmt.Sprintf("w%d", id), func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			p.Sleep(Duration(1+(id*7+i*13)%23) * Microsecond)
+			*trace = append(*trace, fmt.Sprintf("w%d.%d@%d", id, i, p.Now()))
+		}
+	})
+	e.Schedule(5*Microsecond, func() {
+		*trace = append(*trace, fmt.Sprintf("cb%d@%d", id, e.Now()))
+		e.ScheduleAt(e.Now(), func() {
+			*trace = append(*trace, fmt.Sprintf("ring%d@%d", id, e.Now()))
+		})
+	})
+}
+
+// TestShardedOneLaneMatchesEngine pins the tentpole contract's base case:
+// a 1-lane Sharded run executes the identical event sequence — same
+// trace, same event count, same final clock — as a standalone Engine.
+func TestShardedOneLaneMatchesEngine(t *testing.T) {
+	var plainTrace []string
+	plain := New(42)
+	for id := 0; id < 4; id++ {
+		shardedWorkload(plain, id, &plainTrace)
+	}
+	plain.Run()
+
+	var shTrace []string
+	sh := NewSharded(42, 1, 2300*Nanosecond)
+	for id := 0; id < 4; id++ {
+		shardedWorkload(sh.Lane(0), id, &shTrace)
+	}
+	sh.Run()
+
+	if len(plainTrace) != len(shTrace) {
+		t.Fatalf("trace lengths differ: engine %d, sharded %d", len(plainTrace), len(shTrace))
+	}
+	for i := range plainTrace {
+		if plainTrace[i] != shTrace[i] {
+			t.Fatalf("trace[%d]: engine %q, sharded %q", i, plainTrace[i], shTrace[i])
+		}
+	}
+	if plain.EventsRun() != sh.EventsRun() {
+		t.Fatalf("events run: engine %d, sharded %d", plain.EventsRun(), sh.EventsRun())
+	}
+	// The sharded clock parks at the final window boundary: strictly past
+	// the last event, at most one lookahead beyond it.
+	if got := sh.Lane(0).Now(); got <= plain.Now() || got > plain.Now().Add(2300*Nanosecond) {
+		t.Fatalf("final clock: engine %v, sharded lane %v (want within one lookahead past)", plain.Now(), got)
+	}
+	sh.Shutdown()
+	plain.Shutdown()
+}
+
+// crossRing builds an n-node token ring where node base+i lives on lane
+// (base+i)%lanes and forwards the token to its successor with the given
+// delay, stamping the hop on the receiving node's own trace. Delay must
+// be >= the lookahead for the cross-lane legs. Each hop carries a
+// sender-keyed sequence number the way the fabric does; base also
+// namespaces the keys so two rings never mint the same (t, seq).
+func crossRing(sh *Sharded, base, nodes, hops int, delay Duration, traces [][]string) {
+	counters := make([]uint64, nodes)
+	lane := func(node int) *Engine { return sh.Lane((base + node) % sh.Lanes()) }
+	var hop func(node, k int)
+	hop = func(node, k int) {
+		traces[base+node] = append(traces[base+node], fmt.Sprintf("h%d@%d", k, lane(node).Now()))
+		if k == hops {
+			return
+		}
+		next := (node + 1) % nodes
+		src, dst := lane(node), lane(next)
+		counters[node]++
+		seq := KeyedSeqBit | uint64(base+node)<<31 | counters[node]
+		at := src.Now().Add(delay)
+		fn := func() { hop(next, k+1) }
+		if dst == src {
+			src.ScheduleKeyedAt(at, seq, fn)
+		} else {
+			dst.CrossScheduleAt(at, seq, fn)
+		}
+	}
+	lane(0).Schedule(0, func() { hop(0, 0) })
+}
+
+// TestShardedLaneCountInvariance runs the same workload at 1, 2, 3 and 8
+// lanes and requires every node's observed history to be identical: the
+// partition of nodes onto lanes must be unobservable. Two rings with
+// co-prime delays make hops on different nodes collide in time (those
+// commute — each node only sees its own trace), and a fan-in aims eight
+// same-instant sends at one destination, where the keyed-seq merge is
+// the only thing standing between lane count and reordering.
+func TestShardedLaneCountInvariance(t *testing.T) {
+	const ringA, ringB, fanDst = 0, 6, 10
+	la := 2300 * Nanosecond
+	run := func(lanes int) [][]string {
+		traces := make([][]string, fanDst+1)
+		sh := NewSharded(7, lanes, la)
+		crossRing(sh, ringA, 6, 200, la, traces)
+		crossRing(sh, ringB, 4, 300, 2*la, traces)
+		dst := sh.Lane(fanDst % lanes)
+		for s := 0; s < 8; s++ {
+			s := s
+			src := sh.Lane(s % lanes)
+			src.Schedule(Microsecond, func() {
+				seq := KeyedSeqBit | uint64(32+s)<<31 | 1
+				at := src.Now().Add(2 * la)
+				fn := func() {
+					traces[fanDst] = append(traces[fanDst], fmt.Sprintf("s%d@%d", s, dst.Now()))
+				}
+				if dst == src {
+					src.ScheduleKeyedAt(at, seq, fn)
+				} else {
+					dst.CrossScheduleAt(at, seq, fn)
+				}
+			})
+		}
+		sh.Run()
+		sh.Shutdown()
+		return traces
+	}
+	want := run(1)
+	if got := len(want[fanDst]); got != 8 {
+		t.Fatalf("fan-in delivered %d sends, want 8", got)
+	}
+	for _, lanes := range []int{2, 3, 8} {
+		got := run(lanes)
+		for node := range want {
+			if len(got[node]) != len(want[node]) {
+				t.Fatalf("lanes=%d node %d: %d trace entries, want %d", lanes, node, len(got[node]), len(want[node]))
+			}
+			for i := range want[node] {
+				if got[node][i] != want[node][i] {
+					t.Fatalf("lanes=%d node %d trace[%d] = %q, want %q", lanes, node, i, got[node][i], want[node][i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedExclusiveTicker checks that exclusive ticks fire at exact
+// one-period instants with every lane clock advanced to the tick time,
+// and before any lane event at the same instant.
+func TestShardedExclusiveTicker(t *testing.T) {
+	sh := NewSharded(1, 4, 2300*Nanosecond)
+	var ticks []Time
+	var tick *ExclusiveTicker
+	tick = sh.NewExclusiveTicker(Second, func(now Time) {
+		ticks = append(ticks, now)
+		for i := 0; i < sh.Lanes(); i++ {
+			if got := sh.Lane(i).Now(); got < now {
+				t.Fatalf("lane %d clock %v behind tick %v", i, got, now)
+			}
+		}
+		if len(ticks) == 3 {
+			tick.Stop() // a live ticker re-arms forever and Run never drains
+		}
+	})
+	// Keep lanes busy past 3.5 simulated seconds.
+	for i := 0; i < 4; i++ {
+		e := sh.Lane(i)
+		e.Go("busy", func(p *Proc) {
+			for p.Now() < Time(3500*Millisecond) {
+				p.Sleep(10 * Millisecond)
+			}
+		})
+	}
+	sh.Run()
+	sh.Shutdown()
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v, want 3", ticks)
+	}
+	for i, at := range ticks {
+		if at != Time(i+1)*Time(Second) {
+			t.Fatalf("tick %d at %v, want %v", i, at, Time(i+1)*Time(Second))
+		}
+	}
+}
+
+// TestShardedLanePanicSurfaces pins the failure contract: a panic inside
+// a lane event re-raises on the driver with the lane named.
+func TestShardedLanePanicSurfaces(t *testing.T) {
+	forceParallelDispatch(t)
+	sh := NewSharded(1, 2, 2300*Nanosecond)
+	defer sh.Shutdown()
+	// Both lanes must be active in the window so the panicking lane runs
+	// on a worker goroutine, not inline.
+	sh.Lane(0).Schedule(Microsecond, func() {})
+	sh.Lane(1).Schedule(Microsecond, func() { panic("boom") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("lane panic did not surface")
+		}
+		if s := fmt.Sprint(r); !strings.Contains(s, "lane 1") || !strings.Contains(s, "boom") {
+			t.Fatalf("panic = %q, want lane 1 / boom", s)
+		}
+	}()
+	sh.Run()
+}
+
+// TestShardedLookaheadViolationPanics pins the mailbox guard: a
+// cross-lane event behind the destination clock is a bug, not a silent
+// reorder.
+func TestShardedLookaheadViolationPanics(t *testing.T) {
+	sh := NewSharded(1, 2, 2300*Nanosecond)
+	defer sh.Shutdown()
+	sh.Lane(1).Schedule(Millisecond, func() {}) // advance lane 1 well past t=1ns
+	sh.Lane(0).Schedule(2*Millisecond, func() {})
+	sh.Lane(1).Schedule(3*Millisecond, func() {
+		// Lane 1's clock is 3ms; an event for 1ns violates lookahead.
+		sh.Lane(0).CrossScheduleAt(Time(1), KeyedSeqBit|1, func() {})
+	})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("lookahead violation not caught")
+		} else if s := fmt.Sprint(r); !strings.Contains(s, "lookahead violated") {
+			t.Fatalf("panic = %q, want lookahead violated", s)
+		}
+	}()
+	// Run drains mailboxes at the top of every iteration, so the stale
+	// event is detected right after the window that produced it.
+	sh.Run()
+}
+
+// TestShardedStressRace is the -race workout: 8 lanes of procs
+// exchanging cross-lane events through mailboxes with keyed sequence
+// numbers, workers genuinely parallel (GOMAXPROCS raised), repeated to
+// churn the barrier. Determinism is asserted on the aggregate.
+func TestShardedStressRace(t *testing.T) {
+	forceParallelDispatch(t)
+	la := 2300 * Nanosecond
+	run := func() uint64 {
+		sh := NewSharded(99, 8, la)
+		var mu sync.Mutex // trace-free: procs only touch lane state + this tally
+		total := 0
+		counters := make([]uint64, 64)
+		for n := 0; n < 64; n++ {
+			n := n
+			e := sh.Lane(n % 8)
+			e.Go(fmt.Sprintf("n%d", n), func(p *Proc) {
+				for i := 0; i < 200; i++ {
+					p.Sleep(Duration(1+(n+i)%17) * Microsecond)
+					dst := sh.Lane((n + i) % 8)
+					counters[n]++
+					seq := KeyedSeqBit | uint64(n)<<31 | counters[n]
+					at := p.Now().Add(la + Duration(n%5)*Nanosecond)
+					if dst == e {
+						e.ScheduleKeyedAt(at, seq, func() {
+							mu.Lock()
+							total++
+							mu.Unlock()
+						})
+					} else {
+						dst.CrossScheduleAt(at, seq, func() {
+							mu.Lock()
+							total++
+							mu.Unlock()
+						})
+					}
+				}
+			})
+		}
+		sh.Run()
+		events := sh.EventsRun()
+		sh.Shutdown()
+		if total != 64*200 {
+			t.Fatalf("cross-lane events ran %d times, want %d", total, 64*200)
+		}
+		return events
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("stress run event counts diverged: %d vs %d", a, b)
+	}
+}
+
+// BenchmarkLaneBarrier measures one fully-active window round-trip: all
+// lanes have an event in every window, so each iteration pays a
+// dispatch + barrier (or the inline sweep on one core). This is the
+// fixed cost a window's useful work must amortize.
+func BenchmarkLaneBarrier(b *testing.B) {
+	for _, lanes := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			la := 2300 * Nanosecond
+			sh := NewSharded(1, lanes, la)
+			defer sh.Shutdown()
+			// Every lane re-arms an event exactly one lookahead out, so
+			// each window has all lanes active with one event apiece; the
+			// lead lane counts windows and stops after b.N.
+			hops := 0
+			var rearm func(e *Engine, lead bool)
+			rearm = func(e *Engine, lead bool) {
+				e.Schedule(la, func() {
+					if lead {
+						hops++
+						if hops >= b.N {
+							sh.Stop()
+							return
+						}
+					}
+					rearm(e, lead)
+				})
+			}
+			for i := 0; i < lanes; i++ {
+				rearm(sh.Lane(i), i == 0)
+			}
+			b.ResetTimer()
+			sh.Run()
+		})
+	}
+}
+
+// BenchmarkCrossLaneSend measures the mailbox path: lock, append, keyed
+// merge at the next boundary — the marginal cost of a send crossing
+// lanes versus staying on one.
+func BenchmarkCrossLaneSend(b *testing.B) {
+	la := 2300 * Nanosecond
+	sh := NewSharded(1, 2, la)
+	defer sh.Shutdown()
+	src, dst := sh.Lane(0), sh.Lane(1)
+	var counter uint64
+	n := 0
+	var hop func()
+	hop = func() {
+		n++
+		if n >= b.N {
+			sh.Stop()
+			return
+		}
+		counter++
+		dst.CrossScheduleAt(src.Now().Add(la), KeyedSeqBit|counter, func() {})
+		src.Schedule(la, hop)
+	}
+	src.Schedule(0, hop)
+	b.ResetTimer()
+	sh.Run()
+}
