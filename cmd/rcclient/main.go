@@ -8,6 +8,8 @@
 //	rcclient -coord 127.0.0.1:7070 get user0000000001
 //	rcclient -coord 127.0.0.1:7070 repl
 //	rcclient -coord 127.0.0.1:7070 -workload a -records 5000 -ops 100000 -clients 8 -load ycsb
+//	rcclient -coord 127.0.0.1:7070 -workload a -ops 100000 -clients 4 -pipeline 16 -load ycsb
+//	rcclient -coord 127.0.0.1:7070 -workload a -ops 100000 -clients 4 -batch 16 -load ycsb
 package main
 
 import (
@@ -33,6 +35,8 @@ func main() {
 		size     = flag.Int("size", 100, "YCSB value bytes per record")
 		ops      = flag.Int("ops", 10_000, "YCSB total operations")
 		clients  = flag.Int("clients", 4, "YCSB concurrent workers")
+		pipeline = flag.Int("pipeline", 1, "YCSB in-flight ops per worker (async futures; 1 = sync)")
+		batch    = flag.Int("batch", 1, "YCSB ops per MultiRead/MultiWrite round (1 = individual ops)")
 		seed     = flag.Int64("seed", 42, "YCSB RNG seed")
 		load     = flag.Bool("load", false, "YCSB: run the load phase (insert all records) first")
 	)
@@ -67,6 +71,7 @@ func main() {
 		}
 		res, err := realnode.RunYCSB(cl, tid, w, realnode.LoadOptions{
 			Clients: *clients, Ops: *ops, Seed: *seed, Load: *load,
+			Pipeline: *pipeline, Batch: *batch,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rcclient: ycsb: %v\n", err)

@@ -6,6 +6,7 @@
 //
 //	rcload -workload a -records 100000 -ops 10000 -clients 30 -servers 10
 //	rcload -transport tcp -addr 127.0.0.1:7070 -workload a -records 5000 -ops 20000
+//	rcload -transport tcp -addr 127.0.0.1:7070 -workload a -ops 20000 -pipeline 16
 package main
 
 import (
@@ -34,6 +35,8 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:7070", "coordinator address for -transport tcp")
 		valueSize = flag.Int("size", 1024, "value bytes per record")
 		loadPhase = flag.Bool("load", false, "tcp: insert all records before the run phase")
+		pipe      = flag.Int("pipeline", 1, "tcp: in-flight ops per worker (async futures; 1 = sync)")
+		batch     = flag.Int("batch", 1, "tcp: ops per MultiRead/MultiWrite round (1 = individual ops)")
 	)
 	flag.Parse()
 
@@ -45,7 +48,7 @@ func main() {
 	switch *transp {
 	case "sim":
 	case "tcp":
-		runTCP(w, *addr, *clients, *ops, *seed, *loadPhase)
+		runTCP(w, *addr, *clients, *ops, *seed, *loadPhase, *pipe, *batch)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "rcload: unknown transport %q (want sim or tcp)\n", *transp)
@@ -88,7 +91,7 @@ func main() {
 // clock over loopback/ethernet TCP — a protocol soak, not the paper's
 // InfiniBand numbers — and the cluster exposes no power model, so the
 // [ENERGY] section is omitted.
-func runTCP(w ycsb.Workload, addr string, clients, opsPerClient int, seed int64, load bool) {
+func runTCP(w ycsb.Workload, addr string, clients, opsPerClient int, seed int64, load bool, pipeline, batch int) {
 	cl := realnode.NewClient(&transport.TCP{}, addr, realnode.ClientConfig{})
 	defer cl.Close()
 	table, err := cl.CreateTable("usertable", 0)
@@ -98,6 +101,7 @@ func runTCP(w ycsb.Workload, addr string, clients, opsPerClient int, seed int64,
 	}
 	res, err := realnode.RunYCSB(cl, table, w, realnode.LoadOptions{
 		Clients: clients, Ops: opsPerClient * clients, Seed: seed, Load: load,
+		Pipeline: pipeline, Batch: batch,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rcload: %v\n", err)

@@ -221,6 +221,10 @@ func (c *Client) serverConn(id int32) (transport.Conn, error) {
 	return conn, nil
 }
 
+func errNoTablet(table uint64) error {
+	return fmt.Errorf("realnode: no tablet for table %d", table)
+}
+
 // backoff returns the pause before attempt n+1 (capped exponential).
 func (c *Client) backoff(n int) time.Duration {
 	d := c.cfg.retryBase() << n
@@ -230,22 +234,9 @@ func (c *Client) backoff(n int) time.Duration {
 	return d
 }
 
-// call routes one data-plane request to the owner of (table, key) and
-// returns the response status plus the response itself. It performs ONE
-// attempt; op drives the retry loop.
-func (c *Client) call(table uint64, key []byte, mk func() wire.Message) (wire.Message, wire.Status, error) {
-	keyHash := hashtable.HashKey(table, key)
-	owner, ok := c.locate(table, keyHash)
-	if !ok {
-		return nil, 0, fmt.Errorf("realnode: no tablet for table %d", table)
-	}
-	conn, err := c.serverConn(owner)
-	if err != nil {
-		return nil, 0, err
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.rpcTimeout())
-	defer cancel()
-	resp, err := conn.Call(ctx, mk())
+// classify maps a data-plane response (or transport error) onto the
+// (response, status, error) triple the retry loop interprets.
+func classify(resp wire.Message, err error) (wire.Message, wire.Status, error) {
 	if err != nil {
 		return nil, 0, err
 	}
@@ -261,17 +252,53 @@ func (c *Client) call(table uint64, key []byte, mk func() wire.Message) (wire.Me
 	}
 }
 
+// call routes one data-plane request to the owner of (table, key) and
+// returns the response status plus the response itself. It performs ONE
+// attempt; op drives the retry loop.
+func (c *Client) call(table uint64, key []byte, mk func() wire.Message) (wire.Message, wire.Status, error) {
+	keyHash := hashtable.HashKey(table, key)
+	owner, ok := c.locate(table, keyHash)
+	if !ok {
+		return nil, 0, errNoTablet(table)
+	}
+	conn, err := c.serverConn(owner)
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.rpcTimeout())
+	defer cancel()
+	resp, err := conn.Call(ctx, mk())
+	return classify(resp, err)
+}
+
 // op runs the shared retry loop: transport errors and retryable statuses
 // refresh the map and back off; OK and UnknownKey terminate. The
 // semantics mirror the simulated client's operation core.
 func (c *Client) op(table uint64, key []byte, mk func() wire.Message) (wire.Message, error) {
+	return c.opResume(table, key, mk, nil)
+}
+
+// opResume is op with a pluggable first attempt: an async operation's
+// already-issued RPC resolves as attempt zero (via first), and only the
+// uncommon retry path falls back to synchronous attempts. first may be
+// nil for a fully synchronous operation.
+func (c *Client) opResume(table uint64, key []byte, mk func() wire.Message, first func() (wire.Message, wire.Status, error)) (wire.Message, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.maxRetries(); attempt++ {
 		if attempt > 0 {
 			c.stats.Retries.Add(1)
 			time.Sleep(c.backoff(attempt - 1))
 		}
-		resp, status, err := c.call(table, key, mk)
+		var (
+			resp   wire.Message
+			status wire.Status
+			err    error
+		)
+		if attempt == 0 && first != nil {
+			resp, status, err = first()
+		} else {
+			resp, status, err = c.call(table, key, mk)
+		}
 		if err != nil {
 			// Connection lost, dial refused, deadline: the server may be
 			// gone — refresh routes and retry.

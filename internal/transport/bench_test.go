@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ramcloud/internal/wire"
+)
+
+// Loopback micro-benchmarks for the real TCP path. These quantify the
+// fast-path work per RPC — framing, coalescing, correlation, dispatch —
+// with allocs/op as the regression canary (BENCH_10.json records the
+// before/after). The handler answers reads with a fixed 8-byte value.
+
+var benchValue = []byte("8bytesXY")
+
+func benchServer(b *testing.B) (Conn, func()) {
+	b.Helper()
+	tr := &TCP{}
+	ln, err := tr.Listen("127.0.0.1:0", HandlerFunc(func(remote string, msg wire.Message) wire.Message {
+		switch m := msg.(type) {
+		case *wire.ReadReq:
+			return &wire.ReadResp{Status: wire.StatusOK, Version: 1, ValueLen: 8, Value: benchValue}
+		case *wire.MultiReadReq:
+			items := make([]wire.MultiReadResult, len(m.Items))
+			for i := range items {
+				items[i] = wire.MultiReadResult{Status: wire.StatusOK, Version: 1, ValueLen: 8, Value: benchValue}
+			}
+			return &wire.MultiReadResp{Status: wire.StatusOK, Items: items}
+		default:
+			return &wire.PingResp{}
+		}
+	}))
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	conn, err := tr.Dial(ln.Addr())
+	if err != nil {
+		b.Fatalf("dial: %v", err)
+	}
+	return conn, func() { conn.Close(); ln.Close() }
+}
+
+// BenchmarkTCPCall is one synchronous request-response at a time: the
+// latency floor of the real path.
+func BenchmarkTCPCall(b *testing.B) {
+	conn, done := benchServer(b)
+	defer done()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	req := &wire.ReadReq{Table: 1, Key: []byte("user0000000042")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Call(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCPPipelined keeps a 16-deep window of Start()ed calls in
+// flight on one connection — the coalescing flusher batches their
+// frames into shared writes, so this is the throughput configuration.
+func BenchmarkTCPPipelined(b *testing.B) {
+	conn, done := benchServer(b)
+	defer done()
+	st, ok := conn.(Starter)
+	if !ok {
+		b.Fatal("TCP conn does not implement Starter")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	req := &wire.ReadReq{Table: 1, Key: []byte("user0000000042")}
+	const window = 16
+	ring := make([]PendingCall, 0, window)
+	head := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ring)-head == window {
+			if _, err := ring[head].Wait(ctx); err != nil {
+				b.Fatal(err)
+			}
+			head++
+			if head == len(ring) {
+				ring = ring[:0]
+				head = 0
+			}
+		}
+		p, err := st.Start(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ring = append(ring, p)
+	}
+	for ; head < len(ring); head++ {
+		if _, err := ring[head].Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCPMultiRead amortizes one RPC over a 16-item batch;
+// per-item cost is ns/op divided by 16.
+func BenchmarkTCPMultiRead(b *testing.B) {
+	conn, done := benchServer(b)
+	defer done()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	const batch = 16
+	items := make([]wire.MultiReadItem, batch)
+	for i := range items {
+		items[i] = wire.MultiReadItem{Table: 1, Key: []byte("user0000000042")}
+	}
+	req := &wire.MultiReadReq{Items: items}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Call(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

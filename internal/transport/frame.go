@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"ramcloud/internal/wire"
 )
@@ -17,13 +18,50 @@ import (
 // hostile prefix is rejected with wire.ErrTooLarge / wire.ErrBadLength
 // instead of driving a multi-gigabyte make([]byte, ...).
 
+// frameBufPool recycles the scratch buffers frames are read into and
+// (for the plain WriteFrame path) encoded into. wire.Unmarshal copies
+// every byte a decoded message references, so a buffer is reusable the
+// moment the call that borrowed it returns.
+var frameBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4<<10)
+		return &b
+	},
+}
+
+// maxPooledBuf caps the capacity of buffers returned to the pool. The
+// rare jumbo frames (recovery segments, up to MaxEnvelopeSize) would
+// otherwise pin tens of megabytes per idle connection.
+const maxPooledBuf = 1 << 20
+
+func getFrameBuf(n int) *[]byte {
+	bp := frameBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, 0, n)
+	}
+	return bp
+}
+
+func putFrameBuf(bp *[]byte) {
+	if cap(*bp) <= maxPooledBuf {
+		*bp = (*bp)[:0]
+		frameBufPool.Put(bp)
+	}
+}
+
 // ReadFrame reads one envelope frame from r. io.EOF is returned only at
 // a clean frame boundary; a frame torn mid-read surfaces as
 // io.ErrUnexpectedEOF. Decode failures carry the wire package's typed
-// errors so callers can log-and-drop.
+// errors so callers can log-and-drop. The scratch buffer the frame
+// lands in is pooled: the returned message owns its bytes.
 func ReadFrame(r io.Reader) (wire.Envelope, error) {
-	var hdr [wire.HeaderSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	// The header lands in the pooled buffer too — a stack [HeaderSize]
+	// array would escape through the io.ReadFull interface call and cost
+	// a heap allocation per frame.
+	bp := getFrameBuf(wire.HeaderSize)
+	hdr := (*bp)[:wire.HeaderSize]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		putFrameBuf(bp)
 		if err == io.EOF {
 			return wire.Envelope{}, io.EOF
 		}
@@ -31,25 +69,41 @@ func ReadFrame(r io.Reader) (wire.Envelope, error) {
 	}
 	total := binary.LittleEndian.Uint32(hdr[9:13])
 	if total < wire.HeaderSize {
+		putFrameBuf(bp)
 		return wire.Envelope{}, fmt.Errorf("%w: frame length %d < header %d", wire.ErrBadLength, total, wire.HeaderSize)
 	}
 	if total > wire.MaxEnvelopeSize {
+		putFrameBuf(bp)
 		return wire.Envelope{}, fmt.Errorf("%w: frame length %d", wire.ErrTooLarge, total)
 	}
-	buf := make([]byte, total)
-	copy(buf, hdr[:])
+	if cap(*bp) < int(total) {
+		nb := make([]byte, total)
+		copy(nb, hdr)
+		*bp = nb[:0]
+	}
+	buf := (*bp)[:total]
 	if _, err := io.ReadFull(r, buf[wire.HeaderSize:]); err != nil {
+		putFrameBuf(bp)
 		return wire.Envelope{}, fmt.Errorf("transport: torn frame body: %w", io.ErrUnexpectedEOF)
 	}
-	return wire.Unmarshal(buf)
+	env, err := wire.Unmarshal(buf)
+	putFrameBuf(bp)
+	return env, err
 }
 
-// WriteFrame marshals env and writes it as one frame.
+// WriteFrame marshals env and writes it as one frame through a pooled
+// scratch buffer. The TCP backend's hot path does not use it — frames
+// there are coalesced into per-connection buffers by connWriter — but
+// it remains the simple one-shot primitive for tests and tools.
 func WriteFrame(w io.Writer, env wire.Envelope) error {
-	b, err := wire.Marshal(env)
+	bp := getFrameBuf(0)
+	b, err := wire.AppendEnvelope((*bp)[:0], env)
 	if err != nil {
+		putFrameBuf(bp)
 		return err
 	}
+	*bp = b[:0]
 	_, err = w.Write(b)
+	putFrameBuf(bp)
 	return err
 }

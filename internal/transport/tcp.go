@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -20,6 +21,15 @@ type TCP struct {
 	// consecutive failure doubles it up to RedialCap. Defaults 50ms / 2s.
 	RedialBase time.Duration
 	RedialCap  time.Duration
+	// FlushTimeout bounds one coalesced write; a peer that stalls a
+	// flush this long is treated as dead. Default 30s.
+	FlushTimeout time.Duration
+	// Workers bounds the per-listener dispatch pool. Default
+	// 8*GOMAXPROCS clamped to [8, 64]. When every worker is busy the
+	// reader goroutine serves overflow requests inline, so a request
+	// flood degrades into backpressure instead of a goroutine per
+	// request.
+	Workers int
 }
 
 func (t *TCP) dialTimeout() time.Duration {
@@ -43,34 +53,74 @@ func (t *TCP) redialCap() time.Duration {
 	return 2 * time.Second
 }
 
+func (t *TCP) flushTimeout() time.Duration {
+	if t.FlushTimeout > 0 {
+		return t.FlushTimeout
+	}
+	return 30 * time.Second
+}
+
+func (t *TCP) workers() int {
+	if t.Workers > 0 {
+		return t.Workers
+	}
+	n := 8 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// waiter is one pending-call slot: the buffered channel a response (or
+// the nil that reports connection loss) is delivered on, plus the
+// conn/id pair needed to deregister on a deadline. It doubles as the
+// PendingCall handed back by Start, so the whole in-flight bookkeeping
+// for one RPC is a single pooled object — the pre-pooling transport
+// allocated a fresh channel AND a call struct per RPC. The protocol
+// guarantees exactly one send per slot taken out of the pending map by
+// the read loop or teardown, so a slot is back in the pool as soon as
+// its call resolves.
+type waiter struct {
+	ch chan wire.Message
+	c  *tcpConn
+	id uint64
+}
+
+var waiterPool = sync.Pool{
+	New: func() any { return &waiter{ch: make(chan wire.Message, 1)} },
+}
+
 // Dial returns a connection to addr. The socket is established lazily
 // on the first Call and re-established transparently (with capped
 // exponential backoff) after failures, so a Conn survives a peer
 // restart.
 func (t *TCP) Dial(addr string) (Conn, error) {
-	return &tcpConn{tr: t, addr: addr, pending: make(map[uint64]chan wire.Message)}, nil
+	return &tcpConn{tr: t, addr: addr, pending: make(map[uint64]*waiter)}, nil
 }
 
 // tcpConn is one logical client connection: a socket that is redialed
-// as needed plus the RPC-id correlation table.
+// as needed, its coalescing writer, and the RPC-id correlation table.
 type tcpConn struct {
 	tr   *TCP
 	addr string
 
 	mu        sync.Mutex
-	nc        net.Conn // nil while down
-	pending   map[uint64]chan wire.Message
+	nc        net.Conn    // nil while down
+	w         *connWriter // writer for the current socket generation
+	pending   map[uint64]*waiter
 	nextID    uint64
 	fails     int       // consecutive failed dials, drives backoff
 	notBefore time.Time // no redial attempt before this instant
 	closed    bool
-
-	wmu sync.Mutex // serializes frame writes on nc
 }
 
-// ensure returns a live socket, dialing (with the backoff gate) if the
-// connection is down. Callers must NOT hold c.mu.
-func (c *tcpConn) ensure(ctx context.Context) (net.Conn, error) {
+// ensure returns the current socket generation's writer, dialing (with
+// the backoff gate) if the connection is down. Callers must NOT hold
+// c.mu.
+func (c *tcpConn) ensure(ctx context.Context) (*connWriter, error) {
 	c.mu.Lock()
 	for {
 		if c.closed {
@@ -78,9 +128,9 @@ func (c *tcpConn) ensure(ctx context.Context) (net.Conn, error) {
 			return nil, ErrClosed
 		}
 		if c.nc != nil {
-			nc := c.nc
+			w := c.w
 			c.mu.Unlock()
-			return nc, nil
+			return w, nil
 		}
 		if wait := time.Until(c.notBefore); wait > 0 {
 			c.mu.Unlock()
@@ -110,9 +160,10 @@ func (c *tcpConn) ensure(ctx context.Context) (net.Conn, error) {
 		}
 		c.fails = 0
 		c.nc = nc
+		c.w = newConnWriter(nc, c.tr.flushTimeout(), func() { c.teardown(nc) })
 		go c.readLoop(nc)
 		c.mu.Unlock()
-		return nc, nil
+		return c.w, nil
 	}
 }
 
@@ -129,75 +180,121 @@ func (c *tcpConn) readLoop(nc net.Conn) {
 			return
 		}
 		c.mu.Lock()
-		ch, ok := c.pending[env.RPCID]
+		w, ok := c.pending[env.RPCID]
 		if ok {
 			delete(c.pending, env.RPCID)
 		}
 		c.mu.Unlock()
 		if ok {
-			ch <- env.Msg // buffered; never blocks
+			w.ch <- env.Msg // buffered; never blocks
 		}
 		// Unknown id: a response that outlived its caller's deadline.
 		// Dropped, exactly like the simulated endpoint does.
 	}
 }
 
-// teardown retires one socket generation, failing its pending calls.
+// teardown retires one socket generation, failing its pending calls
+// with a nil delivery (the waiter-pool analogue of a closed channel).
 func (c *tcpConn) teardown(nc net.Conn) {
 	nc.Close()
 	c.mu.Lock()
+	var w *connWriter
+	var failed []*waiter
 	if c.nc == nc {
 		c.nc = nil
+		w = c.w
+		c.w = nil
 		c.notBefore = time.Now().Add(c.tr.redialBase())
-		for id, ch := range c.pending {
+		failed = make([]*waiter, 0, len(c.pending))
+		for id, pw := range c.pending {
 			delete(c.pending, id)
-			close(ch)
+			failed = append(failed, pw)
 		}
 	}
 	c.mu.Unlock()
+	if w != nil {
+		w.close()
+	}
+	for _, pw := range failed {
+		pw.ch <- nil
+	}
+}
+
+// Start implements Starter: it queues msg for the coalesced flush and
+// returns immediately, so a caller can keep a window of requests in
+// flight on one connection without a goroutine per call.
+func (c *tcpConn) Start(ctx context.Context, msg wire.Message) (PendingCall, error) {
+	w, err := c.ensure(ctx)
+	if err != nil {
+		return nil, err
+	}
+	pw := waiterPool.Get().(*waiter)
+	pw.c = c
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	pw.id = id
+	c.pending[id] = pw
+	c.mu.Unlock()
+
+	if err := w.enqueue(id, msg); err != nil {
+		// Writer already poisoned: the frame was never queued. Remove
+		// the slot if teardown hasn't already claimed it.
+		c.mu.Lock()
+		if c.pending[id] == pw {
+			delete(c.pending, id)
+			c.mu.Unlock()
+			waiterPool.Put(pw)
+		} else {
+			c.mu.Unlock()
+			<-pw.ch // teardown's nil delivery is guaranteed
+			waiterPool.Put(pw)
+		}
+		return nil, fmt.Errorf("%w: write: %v", ErrConnLost, err)
+	}
+	return pw, nil
+}
+
+// Wait implements PendingCall. It may be called at most once: resolving
+// returns the slot to the pool.
+func (p *waiter) Wait(ctx context.Context) (wire.Message, error) {
+	select {
+	case msg := <-p.ch:
+		waiterPool.Put(p)
+		if msg == nil {
+			return nil, ErrConnLost
+		}
+		return msg, nil
+	case <-ctx.Done():
+		c := p.c
+		c.mu.Lock()
+		if c.pending[p.id] == p {
+			// Still registered: deregister, nobody will ever send.
+			delete(c.pending, p.id)
+			c.mu.Unlock()
+			waiterPool.Put(p)
+			return nil, ctx.Err()
+		}
+		c.mu.Unlock()
+		// The read loop or teardown claimed the slot between the
+		// deadline firing and the delete: its single send is in flight
+		// on a buffered channel, so this receive cannot block.
+		msg := <-p.ch
+		waiterPool.Put(p)
+		if msg == nil {
+			return nil, ErrConnLost
+		}
+		return msg, nil // response beat the deadline; deliver it
+	}
 }
 
 // Call implements Conn.
 func (c *tcpConn) Call(ctx context.Context, msg wire.Message) (wire.Message, error) {
-	nc, err := c.ensure(ctx)
+	p, err := c.Start(ctx, msg)
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	c.nextID++
-	id := c.nextID
-	ch := make(chan wire.Message, 1)
-	c.pending[id] = ch
-	c.mu.Unlock()
-
-	c.wmu.Lock()
-	if deadline, ok := ctx.Deadline(); ok {
-		nc.SetWriteDeadline(deadline)
-	} else {
-		nc.SetWriteDeadline(time.Time{})
-	}
-	err = WriteFrame(nc, wire.Envelope{RPCID: id, Msg: msg})
-	c.wmu.Unlock()
-	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		c.teardown(nc)
-		return nil, fmt.Errorf("%w: write: %v", ErrConnLost, err)
-	}
-
-	select {
-	case resp, ok := <-ch:
-		if !ok {
-			return nil, ErrConnLost
-		}
-		return resp, nil
-	case <-ctx.Done():
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return nil, ctx.Err()
-	}
+	return p.Wait(ctx)
 }
 
 // Close implements Conn.
@@ -213,16 +310,30 @@ func (c *tcpConn) Close() error {
 }
 
 // Listen implements Interface: it binds addr (":0" allocates a port)
-// and services each accepted connection with one reader goroutine plus
-// one goroutine per request, so slow requests do not convoy fast ones
-// and responses return out of order. A torn or hostile frame closes
-// that connection (log-and-drop); well-behaved peers redial.
+// and services each accepted connection with one reader goroutine
+// feeding a listener-wide bounded worker pool. Responses are coalesced
+// per connection by connWriter, and the first write error tears the
+// connection down. Pings are answered inline on the reader goroutine
+// (they never block), and when every pool worker is busy the reader
+// serves overflow requests inline too — bounded backpressure instead
+// of a goroutine per request. A torn or hostile frame closes that
+// connection (log-and-drop); well-behaved peers redial.
 func (t *TCP) Listen(addr string, h Handler) (Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	l := &tcpListener{ln: ln, h: h, conns: make(map[net.Conn]struct{})}
+	l := &tcpListener{
+		ln:    ln,
+		h:     h,
+		tr:    t,
+		conns: make(map[net.Conn]struct{}),
+		work:  make(chan srvReq, 4*t.workers()),
+		done:  make(chan struct{}),
+	}
+	for i := 0; i < t.workers(); i++ {
+		go l.worker()
+	}
 	go l.acceptLoop()
 	return l, nil
 }
@@ -230,26 +341,49 @@ func (t *TCP) Listen(addr string, h Handler) (Listener, error) {
 type tcpListener struct {
 	ln net.Listener
 	h  Handler
+	tr *TCP
+
+	work chan srvReq
+	done chan struct{}
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 }
 
+// srvReq is one decoded request awaiting dispatch.
+type srvReq struct {
+	sc  *srvConn
+	env wire.Envelope
+}
+
+// srvConn is the server side of one accepted connection: the socket
+// plus its coalescing writer.
+type srvConn struct {
+	nc     net.Conn
+	w      *connWriter
+	remote string
+}
+
 // Addr implements Listener.
 func (l *tcpListener) Addr() string { return l.ln.Addr().String() }
 
-// Close implements Listener: stops accepting and severs every
-// established connection, so in-flight peers observe the failure
-// immediately (the loopback kill test depends on this).
+// Close implements Listener: stops accepting, retires the worker pool
+// and severs every established connection, so in-flight peers observe
+// the failure immediately (the loopback kill test depends on this).
 func (l *tcpListener) Close() error {
 	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
 	l.closed = true
 	conns := make([]net.Conn, 0, len(l.conns))
 	for nc := range l.conns {
 		conns = append(conns, nc)
 	}
 	l.mu.Unlock()
+	close(l.done)
 	err := l.ln.Close()
 	for _, nc := range conns {
 		nc.Close()
@@ -275,29 +409,65 @@ func (l *tcpListener) acceptLoop() {
 	}
 }
 
+// worker drains the shared dispatch queue until the listener closes.
+func (l *tcpListener) worker() {
+	for {
+		select {
+		case req := <-l.work:
+			l.serve(req)
+		case <-l.done:
+			return
+		}
+	}
+}
+
+// serve runs one request through the handler and queues the response on
+// the connection's coalescing writer. Enqueue errors mean the socket
+// already failed and teardown is underway; the response is dropped like
+// the request never arrived.
+func (l *tcpListener) serve(req srvReq) {
+	resp := l.h.ServeRPC(req.sc.remote, req.env.Msg)
+	if resp == nil {
+		return
+	}
+	_ = req.sc.w.enqueue(req.env.RPCID, resp)
+}
+
 func (l *tcpListener) serveConn(nc net.Conn) {
+	sc := &srvConn{
+		nc:     nc,
+		remote: nc.RemoteAddr().String(),
+	}
+	// The first write error closes the socket, which fails the read
+	// loop below and tears the whole connection down — a dead peer
+	// stops consuming cycles instead of accumulating doomed responses.
+	sc.w = newConnWriter(nc, l.tr.flushTimeout(), func() { nc.Close() })
 	defer func() {
 		l.mu.Lock()
 		delete(l.conns, nc)
 		l.mu.Unlock()
+		sc.w.close()
 		nc.Close()
 	}()
-	remote := nc.RemoteAddr().String()
-	var wmu sync.Mutex
 	br := bufio.NewReaderSize(nc, 64<<10)
 	for {
 		env, err := ReadFrame(br)
 		if err != nil {
 			return // torn/hostile frame or peer hangup: drop the connection
 		}
-		go func(env wire.Envelope) {
-			resp := l.h.ServeRPC(remote, env.Msg)
-			if resp == nil {
-				return
-			}
-			wmu.Lock()
-			WriteFrame(nc, wire.Envelope{RPCID: env.RPCID, Msg: resp})
-			wmu.Unlock()
-		}(env)
+		if _, ok := env.Msg.(*wire.PingReq); ok {
+			// Fast path: failure-detector probes are answered inline —
+			// a ping must not queue behind a flood of data requests.
+			l.serve(srvReq{sc: sc, env: env})
+			continue
+		}
+		select {
+		case l.work <- srvReq{sc: sc, env: env}:
+		default:
+			// Pool saturated: serve inline on the reader goroutine.
+			// This bounds concurrency at workers + connections and
+			// applies natural backpressure to the flooding peer.
+			l.serve(srvReq{sc: sc, env: env})
+		}
 	}
 }

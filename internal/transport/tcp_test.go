@@ -205,6 +205,123 @@ func TestTCPClosedConn(t *testing.T) {
 	}
 }
 
+// TestTCPFlusherStressTeardown hammers one Conn with a mix of
+// synchronous Calls and pipelined Start/Wait windows while the listener
+// is repeatedly killed and restarted on the same port. This is the
+// -race soak for the coalescing writer: enqueues racing a mid-flight
+// teardown, waiter slots recycling through the pool across ErrConnLost
+// deliveries, and ctx-deadline deregistration racing the read loop.
+// Every call must terminate — with a correctly-correlated echo or a
+// connection-level error — and the Conn must still work afterwards.
+func TestTCPFlusherStressTeardown(t *testing.T) {
+	tr := &TCP{
+		RedialBase:   time.Millisecond,
+		RedialCap:    20 * time.Millisecond,
+		FlushTimeout: 2 * time.Second,
+	}
+	ln, err := tr.Listen("127.0.0.1:0", echoHandler())
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr()
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	st := conn.(Starter)
+
+	// Chaos: bounce the listener a few times while callers are active,
+	// leaving the final incarnation up so callers can drain successfully.
+	finalLn := make(chan Listener, 1)
+	go func() {
+		cur := ln
+		for i := 0; i < 5; i++ {
+			time.Sleep(15 * time.Millisecond)
+			cur.Close()
+			for {
+				next, err := tr.Listen(addr, echoHandler())
+				if err == nil {
+					cur = next
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		finalLn <- cur
+	}()
+
+	var wg sync.WaitGroup
+	fatal := make(chan error, 64)
+	check := func(key []byte, resp wire.Message, err error) {
+		if err != nil {
+			return // conn lost / deadline / dial refused: legal under chaos
+		}
+		rr, ok := resp.(*wire.ReadResp)
+		if !ok || string(rr.Value) != string(key) {
+			fatal <- errors.New("cross-correlated or corrupt response under teardown")
+		}
+	}
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				if i%3 == 0 {
+					// Pipelined window of 4 on the shared flusher.
+					type issued struct {
+						pc  PendingCall
+						key []byte
+					}
+					win := make([]issued, 0, 4)
+					for j := 0; j < 4; j++ {
+						key := []byte{byte(g), byte(i), byte(j)}
+						pc, err := st.Start(ctx, &wire.ReadReq{Table: 1, Key: key})
+						if err != nil {
+							continue
+						}
+						win = append(win, issued{pc, key})
+					}
+					for _, is := range win {
+						resp, err := is.pc.Wait(ctx)
+						check(is.key, resp, err)
+					}
+				} else {
+					key := []byte{byte(g), byte(i), 0xff}
+					resp, err := conn.Call(ctx, &wire.ReadReq{Table: 1, Key: key})
+					check(key, resp, err)
+				}
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	defer func() { (<-finalLn).Close() }()
+	close(fatal)
+	for err := range fatal {
+		t.Fatal(err)
+	}
+
+	// The Conn must recover against the final listener.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		resp, err := conn.Call(ctx, &wire.ReadReq{Table: 1, Key: []byte("alive")})
+		cancel()
+		if err == nil {
+			if string(resp.(*wire.ReadResp).Value) != "alive" {
+				t.Fatalf("post-chaos echo got %q", resp.(*wire.ReadResp).Value)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("conn never recovered after chaos: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // TestTCPConcurrentCalls hammers one Conn from many goroutines; under
 // -race this doubles as the data-race check on the correlation table.
 func TestTCPConcurrentCalls(t *testing.T) {

@@ -59,6 +59,23 @@ type Conn interface {
 	Close() error
 }
 
+// PendingCall is one pipelined in-flight request: the send has been
+// queued, the response has not necessarily arrived.
+type PendingCall interface {
+	// Wait blocks until the correlated response arrives, the context
+	// expires, or the connection fails. It must be called exactly once.
+	Wait(ctx context.Context) (wire.Message, error)
+}
+
+// Starter is implemented by connections that support pipelining: many
+// requests in flight on one connection without a goroutine per call.
+// The TCP backend implements it; callers should type-assert and fall
+// back to a goroutine around Call when the substrate doesn't.
+type Starter interface {
+	// Start queues msg and returns without waiting for the response.
+	Start(ctx context.Context, msg wire.Message) (PendingCall, error)
+}
+
 // Listener is a bound service endpoint.
 type Listener interface {
 	// Addr returns the bound address in the transport's dial format.

@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"ramcloud/internal/wire"
+)
+
+// connWriter coalesces outbound frames on one socket. Callers encode
+// their envelope straight into the pending buffer under a short lock;
+// a single flusher goroutine swaps the buffer out and writes it with
+// one syscall. Under load many frames accumulate while the previous
+// write is in flight, so the syscall cost amortizes across the batch
+// (smallbatching: the flush boundary is "whatever queued since the
+// last write", with no added latency on an idle connection — the
+// flusher is kicked on the first byte and writes immediately).
+//
+// The first write error poisons the writer and invokes onDead exactly
+// once, so a dead socket is torn down instead of accepting more frames
+// (the pre-coalescing server dropped WriteFrame errors on the floor and
+// kept serving reads until the read side noticed).
+type connWriter struct {
+	nc net.Conn
+	// writeTimeout bounds one flush; a peer that stops reading long
+	// enough to stall a flush this long is treated as dead.
+	writeTimeout time.Duration
+	onDead       func() // called once, off the caller's goroutine
+
+	mu    sync.Mutex
+	buf   []byte // frames queued for the next flush
+	spare []byte // the previously flushed buffer, recycled
+	err   error  // first write error (or ErrClosed); sticky
+
+	kick chan struct{} // buffered(1): "buf is non-empty"
+	done chan struct{}
+	once sync.Once
+}
+
+// maxRetainedWriteBuf caps the coalescing buffers kept across flushes,
+// so one jumbo frame doesn't pin megabytes on an idle connection.
+const maxRetainedWriteBuf = 1 << 20
+
+func newConnWriter(nc net.Conn, writeTimeout time.Duration, onDead func()) *connWriter {
+	w := &connWriter{
+		nc:           nc,
+		writeTimeout: writeTimeout,
+		onDead:       onDead,
+		kick:         make(chan struct{}, 1),
+		done:         make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+// enqueue encodes one frame into the pending buffer and wakes the
+// flusher. It returns the sticky error if the socket already failed:
+// the frame is then guaranteed not to have been queued.
+func (w *connWriter) enqueue(id uint64, msg wire.Message) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	buf, err := wire.AppendEnvelope(w.buf, wire.Envelope{RPCID: id, Msg: msg})
+	if err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	w.buf = buf
+	w.mu.Unlock()
+	select {
+	case w.kick <- struct{}{}:
+	default: // flusher already signaled
+	}
+	return nil
+}
+
+// close poisons the writer and stops the flusher. Queued-but-unflushed
+// frames are dropped; by the time close runs the socket is being torn
+// down and their callers are failing with ErrConnLost anyway.
+func (w *connWriter) close() {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = ErrClosed
+	}
+	w.mu.Unlock()
+	w.once.Do(func() { close(w.done) })
+}
+
+func (w *connWriter) loop() {
+	for {
+		select {
+		case <-w.kick:
+		case <-w.done:
+			return
+		}
+		for {
+			w.mu.Lock()
+			if w.err != nil {
+				w.mu.Unlock()
+				return
+			}
+			if len(w.buf) == 0 {
+				w.mu.Unlock()
+				break
+			}
+			out := w.buf
+			w.buf = w.spare[:0]
+			w.spare = nil
+			w.mu.Unlock()
+
+			if w.writeTimeout > 0 {
+				w.nc.SetWriteDeadline(time.Now().Add(w.writeTimeout))
+			}
+			_, err := w.nc.Write(out)
+			if err != nil {
+				w.mu.Lock()
+				w.err = err
+				w.mu.Unlock()
+				w.onDead()
+				return
+			}
+			if cap(out) <= maxRetainedWriteBuf {
+				w.mu.Lock()
+				w.spare = out[:0]
+				w.mu.Unlock()
+			}
+		}
+	}
+}

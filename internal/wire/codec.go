@@ -1,6 +1,9 @@
 package wire
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Envelope wraps a message with its RPC correlation id.
 type Envelope struct {
@@ -17,6 +20,12 @@ const segInfoSize = 8 + 4
 const segLocSize = 8 + 4 + 4
 const willPartSize = 8 + 8
 
+// encPool recycles encoder headers so the append-style encoding path
+// allocates nothing beyond the destination buffer's own growth. The
+// encoder escapes into the Message interface call, so without the pool
+// every frame would heap-allocate one.
+var encPool = sync.Pool{New: func() any { return new(encoder) }}
+
 // Marshal encodes the envelope. Messages carrying virtual values (declared
 // length without bytes) return ErrVirtualValue: they can cross the simulated
 // fabric but not a real one.
@@ -24,20 +33,39 @@ func Marshal(env Envelope) ([]byte, error) {
 	if env.Msg == nil {
 		return nil, fmt.Errorf("%w: nil message", ErrUnknownOp)
 	}
-	e := &encoder{b: make([]byte, 0, env.Msg.WireSize())}
+	return AppendEnvelope(make([]byte, 0, env.Msg.WireSize()), env)
+}
+
+// AppendEnvelope encodes env onto the end of dst and returns the
+// extended slice, exactly as Marshal would but reusing dst's capacity.
+// This is the transport's coalescing path: many envelopes encode into
+// one per-connection buffer that is flushed with a single write. On
+// error dst is returned unchanged (no partial frame is ever appended).
+func AppendEnvelope(dst []byte, env Envelope) ([]byte, error) {
+	if env.Msg == nil {
+		return dst, fmt.Errorf("%w: nil message", ErrUnknownOp)
+	}
+	start := len(dst)
+	e := encPool.Get().(*encoder)
+	e.b = dst
 	e.u8(uint8(env.Msg.Op()))
 	e.u64(env.RPCID)
 	e.u32(0) // length back-patched below
 	if err := env.Msg.encodeBody(e); err != nil {
-		return nil, err
+		e.b = nil
+		encPool.Put(e)
+		return dst, err
 	}
-	// Back-patch total length.
-	total := uint32(len(e.b))
-	e.b[9] = byte(total)
-	e.b[10] = byte(total >> 8)
-	e.b[11] = byte(total >> 16)
-	e.b[12] = byte(total >> 24)
-	return e.b, nil
+	out := e.b
+	e.b = nil
+	encPool.Put(e)
+	// Back-patch total length (of this frame, not the whole buffer).
+	total := uint32(len(out) - start)
+	out[start+9] = byte(total)
+	out[start+10] = byte(total >> 8)
+	out[start+11] = byte(total >> 16)
+	out[start+12] = byte(total >> 24)
+	return out, nil
 }
 
 func encodeValue(e *encoder, declared uint32, value []byte) error {
@@ -88,11 +116,17 @@ func decodeObject(d *decoder) Object {
 	return o
 }
 
+// decPool recycles decoder headers across Unmarshal calls; every byte a
+// decoded message references is copied out of b, so the decoder itself
+// holds no state worth keeping.
+var decPool = sync.Pool{New: func() any { return new(decoder) }}
+
 // Unmarshal decodes a message produced by Marshal. Inputs that cannot
 // be a valid envelope are rejected with typed errors (ErrTruncated,
 // ErrTooLarge, ErrBadLength, ErrUnknownOp) before any message-body
 // decoding, so a transport facing network bytes can log-and-drop
-// without allocating for hostile frames.
+// without allocating for hostile frames. The decoded message owns its
+// bytes: b may be reused immediately.
 func Unmarshal(b []byte) (Envelope, error) {
 	if len(b) < headerSize {
 		return Envelope{}, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(b), headerSize)
@@ -100,7 +134,16 @@ func Unmarshal(b []byte) (Envelope, error) {
 	if len(b) > MaxEnvelopeSize {
 		return Envelope{}, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(b))
 	}
-	d := &decoder{b: b}
+	d := decPool.Get().(*decoder)
+	*d = decoder{b: b}
+	env, err := unmarshalBody(d)
+	d.b = nil
+	decPool.Put(d)
+	return env, err
+}
+
+func unmarshalBody(d *decoder) (Envelope, error) {
+	b := d.b
 	op := Op(d.u8())
 	rpcID := d.u64()
 	total := d.u32()

@@ -6,12 +6,20 @@
 # rendering gates: it proves the wire protocol, framing, correlation and
 # routing work between separate OS processes, not just in-process.
 #
+# After the main run it sweeps the fast-path knobs once each — -pipeline
+# (async futures), -batch (MultiRead/MultiWrite) and a higher -clients
+# count — with small op counts, so every code path ships exercised. The
+# main pipelined run must clear MIN_KOPS (default 40, override via env:
+# a conservative floor well under the ~149 Kops/s this box does batched,
+# but far above what a serialized write path could reach).
+#
 # Usage: scripts/cluster_smoke.sh [ops] [records] [clients]
 set -euo pipefail
 
 OPS=${1:-100000}
 RECORDS=${2:-5000}
 CLIENTS=${3:-8}
+MIN_KOPS=${MIN_KOPS:-40}
 COORD=127.0.0.1:7070
 BIN=$(mktemp -d)
 LOGS=$(mktemp -d)
@@ -54,20 +62,50 @@ case "$GOT" in
   *) echo "::error::read-your-write failed: $GOT"; exit 1 ;;
 esac
 
-echo "== YCSB workload A: $OPS ops over $RECORDS records, $CLIENTS workers"
-OUT=$("$BIN/rcclient" -coord "$COORD" -workload a -records "$RECORDS" \
-  -ops "$OPS" -clients "$CLIENTS" -size 100 -load ycsb)
-echo "$OUT"
+# run_ycsb LABEL WANT_OPS ARGS... — drive one YCSB-A run, print its
+# output, fail on protocol errors or short op counts, and leave the
+# achieved throughput in KOPS (integer Kops/s).
+run_ycsb() {
+  local label=$1 want=$2; shift 2
+  echo "== YCSB workload A ($label): $* (ops=$want)"
+  local out
+  out=$("$BIN/rcclient" -coord "$COORD" -workload a -records "$RECORDS" \
+    -size 100 -ops "$want" "$@" ycsb)
+  echo "$out"
+  local errors completed tput
+  errors=$(echo "$out" | awk -F', ' '/\[OVERALL\], Errors/ {print $3}')
+  completed=$(echo "$out" | awk -F', ' '/\[OVERALL\], Operations/ {print $3}')
+  tput=$(echo "$out" | awk -F', ' '/\[OVERALL\], Throughput/ {print $3}')
+  if [ "${errors:-1}" != "0" ]; then
+    echo "::error::cluster smoke ($label): $errors protocol errors"
+    for f in "$LOGS"/*.log; do echo "--- $f"; cat "$f"; done
+    exit 1
+  fi
+  if [ "${completed:-0}" != "$want" ]; then
+    echo "::error::cluster smoke ($label): completed $completed of $want ops"
+    exit 1
+  fi
+  KOPS=$(awk -v t="${tput:-0}" 'BEGIN {printf "%d", t / 1000}')
+  echo "== OK ($label): $completed ops, 0 errors, ${KOPS} Kops/s"
+}
 
-ERRORS=$(echo "$OUT" | awk -F', ' '/\[OVERALL\], Errors/ {print $3}')
-DONE=$(echo "$OUT" | awk -F', ' '/\[OVERALL\], Operations/ {print $3}')
-if [ "${ERRORS:-1}" != "0" ]; then
-  echo "::error::cluster smoke: $ERRORS protocol errors"
-  for f in "$LOGS"/*.log; do echo "--- $f"; cat "$f"; done
+# Main soak: synchronous one-op-at-a-time over $CLIENTS workers, with
+# the load phase. This is the protocol-correctness gate.
+run_ycsb "sync" "$OPS" -clients "$CLIENTS" -load
+
+# Fast path: multi-op batching. This run is also the throughput gate —
+# a regression that serializes writes or re-introduces per-op syscalls
+# lands far below MIN_KOPS.
+run_ycsb "batched" "$OPS" -clients "$CLIENTS" -batch 32
+if [ "$KOPS" -lt "$MIN_KOPS" ]; then
+  echo "::error::cluster smoke: batched throughput ${KOPS} Kops/s below floor ${MIN_KOPS}"
   exit 1
 fi
-if [ "${DONE:-0}" != "$OPS" ]; then
-  echo "::error::cluster smoke: completed $DONE of $OPS ops"
-  exit 1
-fi
-echo "== OK: $DONE ops, 0 errors"
+
+# Knob sweep: each fast-path configuration once, small op counts, so
+# pipelining, batching and a bigger worker pool all stay exercised.
+run_ycsb "pipelined" 8000 -clients 2 -pipeline 16
+run_ycsb "batch-small" 8000 -clients 2 -batch 8
+run_ycsb "many-clients" 8000 -clients 16
+
+echo "== cluster smoke passed"
